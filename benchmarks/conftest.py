@@ -1,0 +1,20 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one paper artifact (table/figure) at a
+seconds-scale preset and asserts the *shape* claims of the paper — who
+wins, by roughly what factor, where the crossovers fall.  Full-fidelity
+presets are available through each experiment's ``paper()`` config and the
+``python -m repro.experiments.<name>`` CLIs.
+"""
+
+import pytest
+
+
+@pytest.fixture()
+def once(benchmark):
+    """Run the benched callable exactly once (kernels take seconds)."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return _run

@@ -1,0 +1,31 @@
+"""Ablation bench: what the triple-variable constraint tier buys.
+
+Quantifies the design choice documented in DESIGN.md §2: the pair tier
+(families A-G) reproduces the paper's variable-count description; the
+triple tier (families H/SC/TC) is what reaches the paper's 1-2% accuracy
+regime.  Both tiers are *valid* (exact constraints only) — the ablation
+trades tightness against LP size.
+"""
+
+import numpy as np
+
+from repro.experiments import ablation
+
+
+def test_constraint_tier_ablation(once):
+    cfg = ablation.AblationConfig(populations=(5, 10, 20))
+    result = once(ablation.run, cfg)
+
+    pairs_err = np.array(result.column("pairs.maxerr"))
+    triples_err = np.array(result.column("triples.maxerr"))
+    pairs_t = np.array(result.column("pairs.time_s"))
+    triples_t = np.array(result.column("triples.time_s"))
+
+    # Triple tier is tighter at every population, decisively so at small N.
+    assert np.all(triples_err <= pairs_err + 1e-9)
+    assert triples_err[0] < 0.5 * pairs_err[0]
+    assert np.all(triples_err < 0.05)  # the paper's accuracy regime
+
+    # The cost of tightness: larger LPs, bounded slowdown.
+    assert np.all(triples_t >= pairs_t * 0.5)
+    assert np.all(triples_t < 60.0)

@@ -1,0 +1,39 @@
+"""Figure 4 bench: decomposition/ABA failure on the bursty tandem.
+
+Paper claims reproduced here:
+* exact utilization keeps climbing toward the bottleneck asymptote while
+  decomposition saturates at a wrong value — "unacceptable inaccuracies as
+  soon as N increases beyond a few tens";
+* ABA is only informative at the extremes of the load range.
+"""
+
+import numpy as np
+
+from repro.experiments import fig4
+
+
+def test_fig4_decomposition_failure(once):
+    cfg = fig4.Fig4Config(populations=(1, 5, 10, 25, 50, 100))
+    result = once(fig4.run, cfg)
+
+    N = np.array(result.column("N"))
+    u_exact = np.array(result.column("U1.exact"))
+    u_dec = np.array(result.column("U1.decomp"))
+    err = np.array(result.column("decomp.relerr"))
+    aba_lo = np.array(result.column("U1.aba.lo"))
+    aba_hi = np.array(result.column("U1.aba.hi"))
+
+    # Exact utilization is monotone toward saturation.
+    assert np.all(np.diff(u_exact) > -1e-9)
+
+    # Decomposition flat-lines at a wrong asymptote: error at N=100 is
+    # substantial and larger than at N=25 ("beyond a few tens").
+    assert err[N == 100][0] > 0.10
+    assert err[N == 100][0] > err[N == 25][0]
+    assert abs(u_dec[-1] - u_dec[-2]) < 0.01  # decomposition has saturated
+
+    # ABA brackets the exact value but is vacuous mid-range.
+    assert np.all(aba_lo <= u_exact + 1e-9)
+    assert np.all(u_exact <= aba_hi + 1e-9)
+    mid = (N >= 5) & (N <= 100)
+    assert np.all((aba_hi - aba_lo)[mid] > 0.4)

@@ -1,0 +1,40 @@
+"""Figure 8 bench: case-study bounds on the Figure 5 network.
+
+Paper claims reproduced here:
+* utilization and response-time bounds are "very close to the exact value
+  on most populations";
+* both bounds converge to the asymptotic exact value — "a feature that is
+  not always found in bounds for queueing networks".
+"""
+
+import numpy as np
+
+from repro.experiments import fig8
+
+
+def test_fig8_bounds_track_exact(once):
+    cfg = fig8.Fig8Config(populations=(5, 10, 20, 40))
+    result = once(fig8.run, cfg)
+
+    u_exact = np.array(result.column("U3.exact"))
+    u_lo = np.array(result.column("U3.lo"))
+    u_hi = np.array(result.column("U3.hi"))
+    r_exact = np.array(result.column("R.exact"))
+    r_lo = np.array(result.column("R.lo"))
+    r_hi = np.array(result.column("R.hi"))
+
+    # Validity: bounds bracket the exact curve everywhere.
+    assert np.all(u_lo <= u_exact + 1e-7)
+    assert np.all(u_exact <= u_hi + 1e-7)
+    assert np.all(r_lo <= r_exact + 1e-7)
+    assert np.all(r_exact <= r_hi + 1e-7)
+
+    # Tightness: the paper reports ~2% accuracy; enforce <= 5% at every N.
+    u_err = np.maximum(u_exact - u_lo, u_hi - u_exact) / u_exact
+    r_err = np.maximum(r_exact - r_lo, r_hi - r_exact) / r_exact
+    assert u_err.max() < 0.05
+    assert r_err.max() < 0.05
+
+    # Convergence to the asymptote: relative width shrinks with N.
+    rel_width = (u_hi - u_lo) / u_exact
+    assert rel_width[-1] < rel_width[0]

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Working with MAPs directly: fitting, statistics, traces.
+
+Shows the service-process toolbox underneath the network models:
+
+* fit a MAP(2) to target (mean, SCV, gamma2) and to three moments;
+* verify the analytic statistics against a sampled trace;
+* compose processes (superposition, thinning) as a router would.
+
+Run:  python examples/custom_map_fitting.py
+"""
+
+import numpy as np
+
+from repro.analysis import sample_acf
+from repro.maps import (
+    exponential,
+    fit_map2,
+    fit_map2_3m,
+    sample_intervals,
+    superpose,
+    thin,
+)
+
+
+def main() -> None:
+    # --- fit to (mean, scv, gamma2): the paper's case-study parameters ----
+    m = fit_map2(mean=1.0, scv=16.0, gamma2=0.5)
+    print("fit_map2(mean=1, scv=16, gamma2=0.5):")
+    print(f"  D0 =\n{np.round(m.D0, 4)}")
+    print(f"  D1 =\n{np.round(m.D1, 4)}")
+    print(f"  mean={m.mean:.4f}  cv={m.cv:.4f}  gamma2={m.gamma2:.4f}")
+    rho = m.autocorrelation(5)
+    print(f"  analytic ACF(1..5) = {np.round(rho, 4)}")
+    print(f"  geometric decay check: rho2/rho1 = {rho[1] / rho[0]:.4f}\n")
+
+    # --- verify against a sampled trace ------------------------------------
+    trace = sample_intervals(m, 200_000, rng=42)
+    emp_acf = sample_acf(trace, 5)[1:]
+    print("trace of 200k intervals:")
+    print(f"  empirical mean  = {trace.mean():.4f}   (analytic {m.mean:.4f})")
+    print(
+        f"  empirical scv   = {trace.var() / trace.mean() ** 2:.3f}"
+        f"    (analytic {m.scv:.3f})"
+    )
+    print(f"  empirical ACF   = {np.round(emp_acf, 4)}")
+    print(f"  analytic  ACF   = {np.round(rho, 4)}\n")
+
+    # --- three-moment fit (skewness control) --------------------------------
+    m3 = fit_map2_3m(1.0, 8.0, 150.0, gamma2=0.4)
+    mom = m3.moments(3)
+    print("fit_map2_3m(m1=1, m2=8, m3=150, gamma2=0.4):")
+    print(f"  achieved moments = {np.round(mom, 6)}  skewness = {m3.skewness:.3f}\n")
+
+    # --- process algebra -----------------------------------------------------
+    merged = superpose(m, exponential(2.0))
+    split = thin(merged, keep=0.25)
+    print("algebra:")
+    print(f"  superpose(MAP, Poisson(2)): rate {merged.rate:.4f} (1.0 + 2.0)")
+    print(f"  thin(.., keep=0.25):        rate {split.rate:.4f}")
+    print(
+        f"  thinning stretches the ACF decay: gamma2 {m.gamma2:.2f} -> "
+        f"{split.gamma2:.4f} (phase memory persists across dropped events)"
+    )
+
+
+if __name__ == "__main__":
+    main()

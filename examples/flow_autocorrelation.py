@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Trace the propagation of burstiness through a closed system (Figure 1).
+
+Simulates the TPC-W-style model with taps at the six flow points of the
+paper's Figure 1 and prints the sample ACF of each flow.  Although client
+think times are exponential (no temporal dependence injected by the
+clients), every flow in the loop ends up autocorrelated because the front
+server's service process is bursty and the system is closed.
+
+Run:  python examples/flow_autocorrelation.py
+"""
+
+import numpy as np
+
+from repro.analysis import sample_acf
+from repro.sim import simulate
+from repro.utils.tables import format_table
+from repro.workloads import TpcwParameters, tpcw_flow_taps, tpcw_model
+
+
+def main() -> None:
+    params = TpcwParameters()
+    net = tpcw_model(384, params)  # the paper's 384 emulated browsers
+    taps = tpcw_flow_taps()
+    print(f"simulating {net} ...")
+    simulate(net, horizon_events=400_000, warmup_events=40_000, rng=2008, taps=taps)
+
+    lags = [1, 5, 10, 50, 100, 250]
+    rows = []
+    for tap in taps:
+        iv = tap.intervals()
+        acf = sample_acf(iv, min(max(lags), len(iv) - 1))
+        rows.append([tap.label] + [float(acf[lag]) for lag in lags])
+    print(
+        format_table(
+            ["flow"] + [f"lag {lag}" for lag in lags],
+            rows,
+            floatfmt=".3f",
+            title="\nsample autocorrelation of inter-event times per flow",
+        )
+    )
+
+    front = np.asarray(rows[3][1:])
+    print(
+        "\nfront-server departures stay correlated far beyond lag 50 — the "
+        f"burstiness signature (lag-50 ACF = {front[3]:.3f}); with an "
+        "exponential front server every column above would be ~0."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Parameterize a MAP service process from measurements (paper §4).
+
+Pipeline: measure an interarrival trace -> estimate moments + ACF decay ->
+fit a MAP(2) at second order (mean, SCV, gamma2) and at third order
+(+ skewness) -> judge both fits by the *queueing predictions* they produce,
+not by trace statistics — the criterion the paper's future-work remark
+cares about.
+
+Run:  python examples/trace_driven_fitting.py
+"""
+
+import numpy as np
+
+from repro.maps import (
+    empirical_stats,
+    exponential,
+    fit_hyperexp_unbalanced,
+    fit_map_from_trace,
+    h2_correlated,
+    sample_intervals,
+)
+from repro.network import ClosedNetwork, queue, solve_exact
+from repro.utils.tables import format_table
+
+
+def response_time(service) -> float:
+    routing = np.array([[0.0, 1.0], [1.0, 0.0]])
+    net = ClosedNetwork(
+        [queue("svc", service), queue("peer", exponential(1.1))], routing, 12
+    )
+    return solve_exact(net).response_time(0)
+
+
+def main() -> None:
+    # "Measurements": a bursty server with unbalanced phases (its skewness
+    # differs a lot from what a balanced two-moment fit would imply).
+    p1, nu1, nu2 = fit_hyperexp_unbalanced(1.0, 11.0, p_slow=0.15)
+    truth = h2_correlated(p1, nu1, nu2, 0.5)
+    trace = sample_intervals(truth, 250_000, rng=17)
+
+    stats = empirical_stats(trace)
+    print("empirical trace statistics:")
+    print(
+        f"  n={stats.n}  m1={stats.m1:.4f}  scv={stats.scv:.3f}  "
+        f"skewness={stats.skewness:.3f}  gamma2~{stats.gamma2:.3f}\n"
+    )
+
+    fit2 = fit_map_from_trace(trace, order=2)
+    fit3 = fit_map_from_trace(trace, order=3)
+
+    r_true = response_time(truth)
+    rows = []
+    for label, rep in (("2nd order (m1,scv,g2)", fit2), ("3rd order (+m3)", fit3)):
+        r_hat = response_time(rep.map)
+        rows.append(
+            [
+                label,
+                rep.map.scv,
+                rep.map.skewness,
+                rep.map.gamma2,
+                r_hat,
+                abs(r_hat - r_true) / r_true,
+            ]
+        )
+    print(
+        format_table(
+            ["fit", "scv", "skew", "gamma2", "R predicted", "R rel.err"],
+            rows,
+            title=f"queueing prediction quality (true R = {r_true:.4f})",
+        )
+    )
+    print(
+        "\nMatching the third moment fixes the tail shape the two-moment fit "
+        "distorts — the accuracy gap the paper's conclusions point to."
+    )
+
+
+if __name__ == "__main__":
+    main()

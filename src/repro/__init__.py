@@ -1,0 +1,18 @@
+"""repro — MAP queueing networks.
+
+Reproduction of Casale, Mi, Smirni, "Versatile Models of Systems Using MAP
+Queueing Networks" (2008): closed queueing networks with Markovian Arrival
+Process service, exact CTMC analysis, linear-programming performance bounds
+from marginal cut balances, baselines, and a discrete-event simulator.
+
+Public API highlights
+---------------------
+``repro.maps``      MAP construction/fitting/sampling
+``repro.network``   closed MAP network models and the exact solver
+``repro.core``      the paper's LP bound methodology
+``repro.baselines`` MVA / ABA / balanced-job / decomposition comparators
+``repro.sim``       discrete-event simulation
+``repro.workloads`` the TPC-W-style case study generator
+"""
+
+__version__ = "0.1.0"

@@ -1,0 +1,17 @@
+"""Statistical analysis helpers: sample ACF, confidence intervals, Little's law."""
+
+from repro.analysis.acf import sample_acf
+from repro.analysis.stats import (
+    batch_means,
+    confidence_interval,
+    relative_error,
+)
+from repro.analysis.littles import littles_law_residual
+
+__all__ = [
+    "sample_acf",
+    "batch_means",
+    "confidence_interval",
+    "relative_error",
+    "littles_law_residual",
+]

@@ -1,0 +1,25 @@
+"""Little's law utilities.
+
+The paper converts throughput bounds into response-time bounds via
+``R_min = N / X_max`` and ``R_max = N / X_min``; these helpers make the
+conversions and consistency checks explicit and testable.
+"""
+
+from __future__ import annotations
+
+__all__ = ["littles_law_residual", "response_time_from_throughput"]
+
+
+def littles_law_residual(queue_length: float, throughput: float, response: float) -> float:
+    """Relative residual of ``L = X * R`` (0 for perfectly consistent data)."""
+    lhs = queue_length
+    rhs = throughput * response
+    denom = max(abs(lhs), abs(rhs), 1e-300)
+    return abs(lhs - rhs) / denom
+
+
+def response_time_from_throughput(population: int, throughput: float) -> float:
+    """System response time ``R = N / X`` of a closed network (no think time)."""
+    if throughput <= 0:
+        raise ValueError(f"throughput must be positive, got {throughput}")
+    return population / throughput

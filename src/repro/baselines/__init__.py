@@ -1,0 +1,17 @@
+"""Classical comparators: MVA, ABA, balanced job bounds, decomposition."""
+
+from repro.baselines.mva import MvaResult, mva
+from repro.baselines.aba import AbaBounds, aba_bounds
+from repro.baselines.bjb import BjbBounds, bjb_bounds
+from repro.baselines.decomposition import DecompositionResult, decomposition
+
+__all__ = [
+    "MvaResult",
+    "mva",
+    "AbaBounds",
+    "aba_bounds",
+    "BjbBounds",
+    "bjb_bounds",
+    "DecompositionResult",
+    "decomposition",
+]

@@ -1,0 +1,81 @@
+"""Asymptotic Bound Analysis (ABA) — Lazowska et al., chapter 5.
+
+The general-purpose bounds the paper shows in Figure 4: loose except at
+very low or very high load.  For a closed network with total queue demand
+``D = sum_k D_k``, bottleneck demand ``Dmax``, and think time ``Z`` (total
+delay-station demand):
+
+    X(N) <= min(1 / Dmax, N / (D + Z))
+    X(N) >= N / (N * D + Z)
+
+Response-time bounds follow from ``R = N / X - Z``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.network.model import ClosedNetwork
+
+__all__ = ["AbaBounds", "aba_bounds"]
+
+
+@dataclass(frozen=True)
+class AbaBounds:
+    """ABA throughput/response-time bounds at one population."""
+
+    population: int
+    demand_total: float
+    demand_max: float
+    think_time: float
+    throughput_lower: float
+    throughput_upper: float
+
+    @property
+    def response_lower(self) -> float:
+        """``R >= max(D, N * Dmax - Z)``."""
+        return max(
+            self.demand_total,
+            self.population * self.demand_max - self.think_time,
+        )
+
+    @property
+    def response_upper(self) -> float:
+        """``R <= N * D`` (all jobs queue behind each other everywhere)."""
+        return self.population * self.demand_total
+
+    def utilization_bounds(self, demand_k: float) -> tuple[float, float]:
+        """Per-station utilization bounds ``U_k = X * D_k``."""
+        return (
+            min(1.0, self.throughput_lower * demand_k),
+            min(1.0, self.throughput_upper * demand_k),
+        )
+
+
+def aba_bounds(network: ClosedNetwork) -> AbaBounds:
+    """Compute ABA bounds from the network's service demands.
+
+    Only first moments enter — ABA is blind to variability *and* to
+    temporal dependence, which is exactly the gap Figure 4 illustrates.
+    """
+    is_delay = np.array([s.kind == "delay" for s in network.stations])
+    demands = network.service_demands
+    Z = float(demands[is_delay].sum())
+    queue_demands = demands[~is_delay]
+    if queue_demands.size == 0:
+        raise ValueError("ABA needs at least one queueing station")
+    D = float(queue_demands.sum())
+    Dmax = float(queue_demands.max())
+    N = network.population
+    upper = min(1.0 / Dmax, N / (D + Z))
+    lower = N / (N * D + Z)
+    return AbaBounds(
+        population=N,
+        demand_total=D,
+        demand_max=Dmax,
+        think_time=Z,
+        throughput_lower=lower,
+        throughput_upper=upper,
+    )

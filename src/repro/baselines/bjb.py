@@ -1,0 +1,61 @@
+"""Balanced Job Bounds (BJB) — Zahorjan et al.
+
+Tighter than ABA for product-form networks by comparing against balanced
+systems; still first-moment-only, so equally blind to burstiness.  Provided
+as an additional classical comparator for the ablation benches.
+
+For a closed network without think time (all-queue):
+
+    N / (D + (N-1) * Dmax)  <=  X(N)  <=  min(1/Dmax, N / (D + (N-1) * Davg))
+
+with ``Davg = D / M``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+
+from repro.network.model import ClosedNetwork
+from repro.utils.errors import NotSupportedError
+
+__all__ = ["BjbBounds", "bjb_bounds"]
+
+
+@dataclass(frozen=True)
+class BjbBounds:
+    """Balanced-job throughput bounds at one population."""
+
+    population: int
+    throughput_lower: float
+    throughput_upper: float
+
+    @property
+    def response_lower(self) -> float:
+        return self.population / self.throughput_upper
+
+    @property
+    def response_upper(self) -> float:
+        return self.population / self.throughput_lower
+
+
+def bjb_bounds(network: ClosedNetwork) -> BjbBounds:
+    """Balanced job bounds for an all-queue closed network."""
+    if any(s.kind != "queue" for s in network.stations):
+        raise NotSupportedError(
+            "balanced job bounds are implemented for all-queue networks "
+            "(no delay/multiserver stations)"
+        )
+    demands = network.service_demands
+    D = float(demands.sum())
+    Dmax = float(demands.max())
+    Davg = D / network.n_stations
+    N = network.population
+    upper = min(1.0 / Dmax, N / (D + (N - 1) * Davg))
+    lower = N / (D + (N - 1) * Dmax)
+    return BjbBounds(
+        population=N,
+        throughput_lower=lower,
+        throughput_upper=upper,
+    )

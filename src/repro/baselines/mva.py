@@ -1,0 +1,82 @@
+"""Exact Mean Value Analysis for product-form closed networks.
+
+MVA is the classic capacity-planning workhorse the paper positions itself
+against: exact for exponential (product-form) networks, structurally unable
+to represent temporal dependence.  It provides (a) the "no-ACF model" of
+Figure 3, (b) an independent oracle for exponential networks in the test
+suite, and (c) the per-phase conditional solver inside the decomposition
+baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.network.model import ClosedNetwork
+from repro.utils.errors import NotSupportedError, ValidationError
+
+__all__ = ["MvaResult", "mva"]
+
+
+@dataclass(frozen=True)
+class MvaResult:
+    """Exact MVA output at the network's population.
+
+    ``system_throughput`` is normalized to visit ratio 1 at station 0, so it
+    is directly comparable with
+    :meth:`repro.network.ExactSolution.system_throughput`.
+    """
+
+    network: ClosedNetwork
+    system_throughput: float
+    throughput: np.ndarray
+    utilization: np.ndarray
+    queue_length: np.ndarray
+    residence_time: np.ndarray
+
+    @property
+    def response_time(self) -> float:
+        """End-to-end response time ``N / X`` (reference station 0)."""
+        return self.network.population / self.system_throughput
+
+
+def mva(network: ClosedNetwork) -> MvaResult:
+    """Exact MVA recursion over populations ``1..N``.
+
+    Requires exponential service everywhere (product form).  Queue stations
+    use the arrival-theorem recursion; delay stations contribute constant
+    residence time.  Multiserver stations are not supported (load-dependent
+    MVA is out of scope for the baselines the paper compares against).
+    """
+    for st in network.stations:
+        if st.phases != 1:
+            raise ValidationError(
+                f"MVA requires exponential service; station {st.name!r} has "
+                f"{st.phases} phases. Replace MAP stations explicitly (the "
+                "'no-ACF' methodology) before calling mva()."
+            )
+        if st.kind == "multiserver":
+            raise NotSupportedError("multiserver stations are not supported by mva()")
+    M = network.n_stations
+    N = network.population
+    v = network.visit_ratios
+    means = np.array([s.mean_service_time for s in network.stations])
+    demands = v * means
+    is_delay = np.array([s.kind == "delay" for s in network.stations])
+
+    Q = np.zeros(M)
+    X = 0.0
+    for n in range(1, N + 1):
+        R = np.where(is_delay, demands, demands * (1.0 + Q))
+        X = n / R.sum()
+        Q = X * R
+    return MvaResult(
+        network=network,
+        system_throughput=X,
+        throughput=X * v,
+        utilization=np.where(is_delay, np.nan, X * demands),
+        queue_length=Q,
+        residence_time=np.where(is_delay, demands, demands * (1.0 + Q)),
+    )

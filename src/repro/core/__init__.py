@@ -1,0 +1,54 @@
+"""The paper's contribution: LP performance bounds from marginal balances.
+
+Workflow::
+
+    from repro.core import solve_bounds
+    result = solve_bounds(network)          # utilization/throughput/qlen/R
+    result.response_time.lower, result.response_time.upper
+
+or metric-by-metric with :func:`bound_metric` and the objective builders in
+:mod:`repro.core.objectives`.
+"""
+
+from repro.core.variables import VariableIndex
+from repro.core.constraints import ConstraintSystem, build_constraints
+from repro.core.objectives import (
+    LinearMetric,
+    throughput_metric,
+    utilization_metric,
+    idle_probability_metric,
+    queue_length_metric,
+    queue_length_moment_metric,
+    system_throughput_metric,
+)
+from repro.core.lp import LPSolution, optimize_metric
+from repro.core.bounds import (
+    Interval,
+    BoundsResult,
+    bound_metric,
+    solve_bounds,
+    response_time_bounds,
+)
+from repro.core.projection import project_exact_solution, verify_exactness
+
+__all__ = [
+    "VariableIndex",
+    "ConstraintSystem",
+    "build_constraints",
+    "LinearMetric",
+    "throughput_metric",
+    "utilization_metric",
+    "idle_probability_metric",
+    "queue_length_metric",
+    "queue_length_moment_metric",
+    "system_throughput_metric",
+    "LPSolution",
+    "optimize_metric",
+    "Interval",
+    "BoundsResult",
+    "bound_metric",
+    "solve_bounds",
+    "response_time_bounds",
+    "project_exact_solution",
+    "verify_exactness",
+]

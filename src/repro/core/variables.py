@@ -1,0 +1,168 @@
+"""Variable space of the marginal-balance linear program.
+
+The LP operates on aggregate (marginal) probabilities of the network CTMC —
+the paper's key idea: instead of the combinatorial global state space, keep
+only ``O(M^2 (N+1))`` marginal terms (times phase counts):
+
+* ``pi_k(n, h)   = P[n_k = n, h_k = h]``                    block ``("pi", k)``
+* ``V_jk(a, n, h) = P[n_j >= 1, h_j = a, n_k = n, h_k = h]``  block ``("V", j, k)``
+* ``W_jk(a, n, h) = P[n_j = 0,  h_j = a, n_k = n, h_k = h]``  block ``("W", j, k)``
+* ``G_jk(a, n, h) = E[n_j * 1{h_j = a, n_k = n, h_k = h}]``   block ``("G", j, k)``
+
+``V``/``W`` carry the *busy-source* information the marginal cut balances
+need (paper eq. (1)); ``G`` carries the first conditional moment needed for
+load-dependent (delay) sources and for the exact population couplings.
+``G`` is resolved by the source phase ``a`` so that it can be sandwiched
+per phase against ``V`` and tied to the queue-length moments of station j.
+
+With ``triples=True`` (the default for M >= 3), two triple-joint families
+are added for every ordered triple of distinct stations ``(i, j, k)``:
+
+* ``S_ijk(e, a, n, h) = P[n_i >= 1, h_i = e, h_j = a, n_k = n, h_k = h]``
+* ``T_ijk(e, a, n, h) = E[n_j * 1{n_i >= 1, h_i = e, h_j = a, n_k = n, h_k = h}]``
+
+They make the *conditional first-moment drift balances* (family H in
+DESIGN.md) expressible, which is what pins the ``G`` variables tightly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.network.model import ClosedNetwork
+
+__all__ = ["VariableIndex"]
+
+
+class VariableIndex:
+    """Flat indexing of all LP variables for a given network.
+
+    Blocks are laid out contiguously; per-block coordinates map to flat
+    indices via row-major ``ravel``.  All accessors are vectorized: any
+    coordinate may be an integer or an integer array (numpy broadcasting
+    applies).
+    """
+
+    def __init__(self, network: ClosedNetwork, triples: bool | None = None) -> None:
+        self.network = network
+        M = network.n_stations
+        N = network.population
+        K = network.phase_orders
+        self.triples = (M >= 3) if triples is None else (triples and M >= 3)
+        self._offset: dict[tuple, int] = {}
+        self._shape: dict[tuple, tuple[int, ...]] = {}
+        total = 0
+        for k in range(M):
+            key = ("pi", k)
+            self._offset[key] = total
+            self._shape[key] = (N + 1, K[k])
+            total += (N + 1) * K[k]
+        for j in range(M):
+            for k in range(M):
+                if j == k:
+                    continue
+                for fam in ("V", "W", "G"):
+                    key = (fam, j, k)
+                    self._offset[key] = total
+                    self._shape[key] = (K[j], N + 1, K[k])
+                    total += K[j] * (N + 1) * K[k]
+        if self.triples:
+            for i in range(M):
+                for j in range(M):
+                    for k in range(M):
+                        if len({i, j, k}) != 3:
+                            continue
+                        for fam in ("S", "T"):
+                            key = (fam, i, j, k)
+                            self._offset[key] = total
+                            self._shape[key] = (K[i], K[j], N + 1, K[k])
+                            total += K[i] * K[j] * (N + 1) * K[k]
+        self.size = total
+
+    # ------------------------------------------------------------------ #
+    def block(self, *key) -> tuple[int, tuple[int, ...]]:
+        """(offset, shape) of a block, e.g. ``block("V", 0, 2)``."""
+        return self._offset[key], self._shape[key]
+
+    def blocks(self):
+        """Iterate ``(key, offset, shape)`` over all blocks in layout order."""
+        for key, off in self._offset.items():
+            yield key, off, self._shape[key]
+
+    def pi(self, k: int, n, h):
+        """Flat index of ``pi_k(n, h)`` (vectorized over ``n``/``h``)."""
+        off, shape = self.block("pi", k)
+        return off + np.ravel_multi_index((n, h), shape)
+
+    def V(self, j: int, k: int, a, n, h):
+        """Flat index of ``V_jk(a, n, h)``."""
+        off, shape = self.block("V", j, k)
+        return off + np.ravel_multi_index((a, n, h), shape)
+
+    def W(self, j: int, k: int, a, n, h):
+        """Flat index of ``W_jk(a, n, h)``."""
+        off, shape = self.block("W", j, k)
+        return off + np.ravel_multi_index((a, n, h), shape)
+
+    def G(self, j: int, k: int, a, n, h):
+        """Flat index of ``G_jk(a, n, h)``."""
+        off, shape = self.block("G", j, k)
+        return off + np.ravel_multi_index((a, n, h), shape)
+
+    def S(self, i: int, j: int, k: int, e, a, n, h):
+        """Flat index of the triple probability ``S_ijk(e, a, n, h)``."""
+        off, shape = self.block("S", i, j, k)
+        return off + np.ravel_multi_index((e, a, n, h), shape)
+
+    def T(self, i: int, j: int, k: int, e, a, n, h):
+        """Flat index of the triple first moment ``T_ijk(e, a, n, h)``."""
+        off, shape = self.block("T", i, j, k)
+        return off + np.ravel_multi_index((e, a, n, h), shape)
+
+    # ------------------------------------------------------------------ #
+    def default_bounds(self) -> tuple[np.ndarray, np.ndarray]:
+        """(lower, upper) variable bounds including structural zeros.
+
+        Probabilities live in [0, 1]; ``G_jk(., n, .)`` in ``[0, N - n]``
+        (when station k holds n jobs at most ``N - n`` can sit at j).
+        Structural zeros: ``V_jk(., N, .) = 0`` and ``G_jk(., N, .) = 0``
+        (station j cannot be busy while k holds the whole population).
+        """
+        N = self.network.population
+        lo = np.zeros(self.size)
+        hi = np.ones(self.size)
+        levels = np.arange(N + 1, dtype=float)
+        for key, off, shape in self.blocks():
+            fam = key[0]
+            size = int(np.prod(shape))
+            if fam == "G":
+                block_hi = np.broadcast_to((N - levels)[None, :, None], shape)
+                hi[off : off + size] = block_hi.ravel()
+            elif fam == "V":
+                block_hi = np.ones(shape)
+                block_hi[:, N, :] = 0.0
+                hi[off : off + size] = block_hi.ravel()
+            elif fam == "S":
+                # n_i >= 1 and n_k = n force n <= N - 1.
+                block_hi = np.ones(shape)
+                block_hi[:, :, N, :] = 0.0
+                hi[off : off + size] = block_hi.ravel()
+            elif fam == "T":
+                # n_i >= 1 and n_k = n force n_j <= N - n - 1.
+                block_hi = np.broadcast_to(
+                    np.clip(N - 1 - levels, 0.0, None)[None, None, :, None], shape
+                )
+                hi[off : off + size] = block_hi.ravel()
+        return lo, hi
+
+    def describe(self, flat_index: int) -> str:
+        """Human-readable name of a flat variable index (debugging aid)."""
+        for key, off, shape in self.blocks():
+            size = int(np.prod(shape))
+            if off <= flat_index < off + size:
+                coords = np.unravel_index(flat_index - off, shape)
+                fam = key[0]
+                rest = ",".join(str(c) for c in key[1:])
+                inner = ",".join(str(int(c)) for c in coords)
+                return f"{fam}[{rest}]({inner})"
+        raise IndexError(f"flat index {flat_index} out of range")

@@ -1,0 +1,27 @@
+"""Experiment drivers regenerating every table and figure of the paper.
+
+Module per artifact (run ``python -m repro.experiments.<name>``):
+
+========  ==========================================================
+fig1      flow autocorrelations of the TPC-W model (testbed ACFs)
+fig3      TPC-W response/utilization: measurement vs ACF vs no-ACF
+fig4      decomposition + ABA failure on a bursty tandem
+fig8      case-study bounds on the Figure 5 network
+table1    random-model bound-error statistics
+scaling   Section 2 LP scalability claim
+========  ==========================================================
+"""
+
+from repro.experiments import ablation, fig1, fig3, fig4, fig8, scaling, table1
+from repro.experiments.common import ExperimentResult
+
+__all__ = [
+    "ablation",
+    "fig1",
+    "fig3",
+    "fig4",
+    "fig8",
+    "table1",
+    "scaling",
+    "ExperimentResult",
+]

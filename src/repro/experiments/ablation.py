@@ -1,0 +1,94 @@
+"""Constraint-tier ablation: what each family buys.
+
+DESIGN.md calls out one major design choice beyond the paper's text: the
+constraint system is layered —
+
+* **pair tier** (families A-G over π/V/W/G): the ``O(M^2 (N+1))`` system
+  matching the paper's variable-count description;
+* **triple tier** (families H/SC/TC over S/T): conditional first-moment
+  drift balances, ``O(M^3 (N+1))`` variables.
+
+This experiment measures, on the Figure 5 case-study network, the
+response-time bound error and wall-clock cost of each tier, quantifying the
+accuracy/cost trade-off (the triple tier is what reaches the paper's
+1-2% Table 1 regime on hard instances).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.core.bounds import response_time_bounds
+from repro.experiments.common import ExperimentResult
+from repro.experiments.fig8 import Fig8Config, fig5_network
+from repro.network.exact import solve_exact
+
+__all__ = ["AblationConfig", "run", "main"]
+
+
+@dataclass(frozen=True)
+class AblationConfig:
+    """Populations at which to compare the constraint tiers."""
+
+    populations: tuple[int, ...] = (5, 10, 20, 40)
+    case: Fig8Config = Fig8Config()
+
+    @classmethod
+    def small(cls) -> "AblationConfig":
+        return cls(populations=(5, 10, 20))
+
+    @classmethod
+    def paper(cls) -> "AblationConfig":
+        return cls(populations=(5, 10, 20, 40, 80))
+
+
+def run(config: AblationConfig | None = None) -> ExperimentResult:
+    """Compare pair-tier and triple-tier bounds against the exact solution."""
+    cfg = config or AblationConfig.small()
+    rows = []
+    for N in cfg.populations:
+        net = fig5_network(N, cfg.case)
+        exact_r = solve_exact(net).response_time(0)
+        tiers = {}
+        for label, flag in (("pairs", False), ("triples", True)):
+            t0 = time.perf_counter()
+            iv = response_time_bounds(net, triples=flag)
+            dt = time.perf_counter() - t0
+            err = max(
+                abs(iv.lower - exact_r) / exact_r,
+                abs(iv.upper - exact_r) / exact_r,
+            )
+            tiers[label] = (err, dt)
+        rows.append(
+            [
+                N,
+                float(exact_r),
+                float(tiers["pairs"][0]),
+                float(tiers["pairs"][1]),
+                float(tiers["triples"][0]),
+                float(tiers["triples"][1]),
+            ]
+        )
+    return ExperimentResult(
+        title="Ablation: pair tier (A-G) vs triple tier (+H/SC/TC), "
+        "Figure 5 case study",
+        headers=[
+            "N",
+            "R.exact",
+            "pairs.maxerr",
+            "pairs.time_s",
+            "triples.maxerr",
+            "triples.time_s",
+        ],
+        rows=rows,
+        metadata={},
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(run(AblationConfig.paper()).table())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,47 @@
+"""Shared infrastructure for experiment drivers.
+
+Every experiment module exposes:
+
+* a frozen ``*Config`` dataclass with ``small()`` (seconds-scale, used by
+  the benchmark suite) and ``paper()`` (full fidelity) constructors;
+* ``run(config) -> *Result`` returning structured series;
+* a ``main()`` that prints the paper-shaped table, so
+  ``python -m repro.experiments.figX`` regenerates the artifact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.utils.tables import format_table
+
+__all__ = ["ExperimentResult", "format_table"]
+
+
+@dataclass
+class ExperimentResult:
+    """Generic tabular result: named columns plus free-form metadata."""
+
+    title: str
+    headers: list[str]
+    rows: list[list[Any]]
+    metadata: dict[str, Any]
+
+    def table(self, floatfmt: str = ".4f") -> str:
+        """Render the paper-shaped ASCII table."""
+        return format_table(self.headers, self.rows, floatfmt=floatfmt, title=self.title)
+
+    def column(self, name: str) -> list:
+        """Extract one column by header name."""
+        idx = self.headers.index(name)
+        return [row[idx] for row in self.rows]
+
+    def to_dict(self) -> dict:
+        """JSON-serializable dump (for EXPERIMENTS.md bookkeeping)."""
+        return {
+            "title": self.title,
+            "headers": self.headers,
+            "rows": self.rows,
+            "metadata": self.metadata,
+        }

@@ -1,0 +1,108 @@
+"""Section 2 scalability claim: LP cost vs population and model size.
+
+Paper: "we have solved the linear program for a model with 10 MAP(2) queues
+and N = 50 jobs using an interior point solver in approximately four
+minutes; for N = 100 the solution of the same model is found in
+approximately ten minutes suggesting very good scalability in the
+population size" — while global balance grows as C(M+N-1, N).
+
+This driver measures wall-clock time of (constraint assembly + one
+throughput-bound pair) across N and M, and tabulates the marginal-variable
+count against the global state-space size.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.special import comb
+
+from repro.core.bounds import bound_metric
+from repro.core.constraints import build_constraints
+from repro.core.objectives import throughput_metric
+from repro.core.variables import VariableIndex
+from repro.experiments.common import ExperimentResult
+from repro.maps.fitting import fit_map2
+from repro.network.model import ClosedNetwork
+from repro.network.stations import queue
+
+__all__ = ["ScalingConfig", "ring_of_maps", "run", "main"]
+
+
+@dataclass(frozen=True)
+class ScalingConfig:
+    """Grid of (M, N) points to time."""
+
+    points: tuple[tuple[int, int], ...] = (
+        (3, 25),
+        (3, 50),
+        (3, 100),
+        (5, 50),
+        (10, 25),
+        (10, 50),
+    )
+
+    @classmethod
+    def small(cls) -> "ScalingConfig":
+        return cls(points=((3, 10), (3, 25), (5, 10)))
+
+    @classmethod
+    def paper(cls) -> "ScalingConfig":
+        """Includes the paper's 10 MAP(2) queues at N = 50 and N = 100."""
+        return cls(points=((3, 50), (3, 100), (10, 50), (10, 100)))
+
+
+def ring_of_maps(M: int, N: int) -> ClosedNetwork:
+    """Ring of M MAP(2) queues (the paper's 10-queue stress shape)."""
+    routing = np.zeros((M, M))
+    for j in range(M):
+        routing[j, (j + 1) % M] = 1.0
+    stations = [
+        queue(f"q{j}", fit_map2(1.0 + 0.1 * j, 4.0 + j, 0.5)) for j in range(M)
+    ]
+    return ClosedNetwork(stations, routing, N)
+
+
+def run(config: ScalingConfig | None = None) -> ExperimentResult:
+    """Time assembly + one bound pair per (M, N) grid point."""
+    cfg = config or ScalingConfig.small()
+    rows = []
+    for M, N in cfg.points:
+        net = ring_of_maps(M, N)
+        # Pair tier only: this is the paper's O(M^2 (N+1)) marginal system;
+        # the triple tier (used by default for small M) scales as M^3 and is
+        # benchmarked separately in the constraint-ablation experiment.
+        t0 = time.perf_counter()
+        vi = VariableIndex(net, triples=False)
+        system = build_constraints(net, vi)
+        t_build = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        bound_metric(net, throughput_metric(net, vi, 0), system)
+        t_solve = time.perf_counter() - t0
+        global_states = comb(M + N - 1, N, exact=True) * 2**M
+        rows.append(
+            [
+                M,
+                N,
+                vi.size,
+                int(global_states),
+                float(t_build),
+                float(t_solve),
+            ]
+        )
+    return ExperimentResult(
+        title="LP scalability (Section 2 claim): marginal LP vs global balance",
+        headers=["M", "N", "lp_vars", "global_states", "t_build_s", "t_bounds_s"],
+        rows=rows,
+        metadata={"tier": "pairs (triples=False)"},
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(run(ScalingConfig.paper()).table())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,80 @@
+"""Markovian Arrival Processes: construction, statistics, fitting, sampling.
+
+This package is the workload/service-process substrate of the reproduction.
+The central object is :class:`MAP`; builders create the standard families
+(exponential, Erlang, hyperexponential, Coxian, MMPP(2), correlated H2),
+:mod:`repro.maps.fitting` matches target statistics, and
+:mod:`repro.maps.trace` samples event traces for the simulator.
+"""
+
+from repro.maps.map import MAP
+from repro.maps.ph import PhaseType
+from repro.maps.builders import (
+    exponential,
+    erlang,
+    hyperexponential,
+    coxian2,
+    mmpp2,
+    map2,
+    h2_correlated,
+    from_ph,
+)
+from repro.maps.fitting import (
+    fit_hyperexp_balanced,
+    fit_hyperexp_unbalanced,
+    fit_hyperexp_3m,
+    fit_renewal,
+    fit_map2,
+    fit_map2_3m,
+    feasible_gamma2_range,
+)
+from repro.maps.operations import rescale, superpose, thin, mixture
+from repro.maps.random import RandomMap2Config, random_map2, random_exponential
+from repro.maps.trace import MapSampler, sample_intervals
+from repro.maps.estimation import (
+    TraceStats,
+    FitReport,
+    empirical_stats,
+    fit_map_from_trace,
+)
+from repro.maps.counting import (
+    interval_dispersion,
+    count_moments,
+    count_dispersion,
+)
+
+__all__ = [
+    "MAP",
+    "PhaseType",
+    "exponential",
+    "erlang",
+    "hyperexponential",
+    "coxian2",
+    "mmpp2",
+    "map2",
+    "h2_correlated",
+    "from_ph",
+    "fit_hyperexp_balanced",
+    "fit_hyperexp_unbalanced",
+    "fit_hyperexp_3m",
+    "fit_renewal",
+    "fit_map2",
+    "fit_map2_3m",
+    "feasible_gamma2_range",
+    "rescale",
+    "superpose",
+    "thin",
+    "mixture",
+    "RandomMap2Config",
+    "random_map2",
+    "random_exponential",
+    "MapSampler",
+    "sample_intervals",
+    "TraceStats",
+    "FitReport",
+    "empirical_stats",
+    "fit_map_from_trace",
+    "interval_dispersion",
+    "count_moments",
+    "count_dispersion",
+]

@@ -1,0 +1,173 @@
+"""Parameterizing MAPs from measured traces (the paper's future work, §4).
+
+The paper closes with: "a fundamental research to be carried out is the
+parameterization of MAP service processes from measurements.  Our
+preliminary results indicate that queueing models with MAPs parameterized
+up to third-order statistical properties can be several orders of magnitude
+more accurate in prediction accuracy than standard second-order
+parameterizations [2]."
+
+This module implements that pipeline:
+
+* :func:`empirical_stats` — moment/ACF estimators for an interarrival
+  trace, including a regression estimate of the geometric ACF decay rate
+  ``gamma2``;
+* :func:`fit_map_from_trace` — MAP(2) fits at second order
+  ``(m1, SCV, gamma2)`` or third order ``(m1, m2, m3, gamma2)``, with an
+  explicit feasibility fallback report (no silent substitutions).
+
+The accuracy gap between the two orders on queueing predictions is
+quantified by ``benchmarks/test_bench_fitting_order.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.acf import sample_acf
+from repro.maps.fitting import fit_map2, fit_map2_3m
+from repro.maps.map import MAP
+from repro.utils.errors import FeasibilityError, ValidationError
+
+__all__ = ["TraceStats", "empirical_stats", "FitReport", "fit_map_from_trace"]
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """Empirical statistics of an interarrival-time trace."""
+
+    n: int
+    m1: float
+    m2: float
+    m3: float
+    scv: float
+    skewness: float
+    gamma2: float
+    acf1: float
+
+    @property
+    def cv(self) -> float:
+        return float(np.sqrt(self.scv))
+
+
+def _estimate_gamma2(acf: np.ndarray, max_lag: int, n: int) -> float:
+    """Geometric decay rate from the sample ACF.
+
+    Fits ``log rho_k = log rho_1 + (k-1) log gamma`` by least squares over
+    the *leading run* of lags whose correlation sits clearly above the
+    estimator's noise floor (~1/sqrt(n)); including the noisy flat tail
+    would bias the slope toward gamma = 1.  Returns 0 for effectively
+    uncorrelated traces.
+    """
+    floor = max(5.0 / np.sqrt(n), 5e-3)
+    rho = acf[1 : max_lag + 1]
+    if len(rho) == 0 or abs(rho[0]) <= floor:
+        return 0.0
+    if rho[0] < 0.0:
+        # Alternating/negative correlation: report the lag-1/lag-2 ratio.
+        if len(rho) >= 2 and abs(rho[1]) > floor:
+            return float(np.clip(rho[1] / rho[0], -0.99, 0.0))
+        return float(np.clip(rho[0], -0.99, 0.0))
+    # Leading run of significantly-positive lags.
+    run = 0
+    while run < len(rho) and rho[run] > floor:
+        run += 1
+    if run == 1:
+        return float(np.clip(rho[0], 0.0, 0.9999))  # only lag-1 usable
+    x = np.arange(run)
+    y = np.log(rho[:run])
+    slope = float(np.polyfit(x, y, 1)[0])
+    return float(np.clip(np.exp(slope), 0.0, 0.9999))
+
+
+def empirical_stats(trace: np.ndarray, max_lag: int = 50) -> TraceStats:
+    """Estimate the statistics a MAP(2) fit needs from a trace.
+
+    Parameters
+    ----------
+    trace:
+        1-D array of interarrival (or service) times.
+    max_lag:
+        Largest ACF lag used in the ``gamma2`` regression.
+    """
+    trace = np.asarray(trace, dtype=float)
+    if trace.ndim != 1 or len(trace) < 10:
+        raise ValidationError("trace must be 1-D with at least 10 samples")
+    if np.any(trace < 0):
+        raise ValidationError("trace contains negative interarrival times")
+    m1 = float(trace.mean())
+    m2 = float((trace**2).mean())
+    m3 = float((trace**3).mean())
+    var = m2 - m1 * m1
+    if var <= 0 or m1 <= 0:
+        raise ValidationError("trace is degenerate (zero mean or variance)")
+    scv = var / (m1 * m1)
+    skew = float((m3 - 3 * m1 * m2 + 2 * m1**3) / var**1.5)
+    lag = min(max_lag, len(trace) // 4)
+    acf = sample_acf(trace, lag)
+    return TraceStats(
+        n=len(trace),
+        m1=m1,
+        m2=m2,
+        m3=m3,
+        scv=scv,
+        skewness=skew,
+        gamma2=_estimate_gamma2(acf, lag, len(trace)),
+        acf1=float(acf[1]),
+    )
+
+
+@dataclass(frozen=True)
+class FitReport:
+    """Outcome of a trace-driven MAP fit."""
+
+    map: MAP
+    stats: TraceStats
+    order: int               # 2 or 3: the order actually achieved
+    requested_order: int
+    fallback_reason: str | None = None
+
+    @property
+    def used_fallback(self) -> bool:
+        return self.fallback_reason is not None
+
+
+def fit_map_from_trace(
+    trace: np.ndarray, order: int = 3, max_lag: int = 50
+) -> FitReport:
+    """Fit a MAP(2) to a measured trace.
+
+    ``order=2`` matches (mean, SCV, gamma2) — the "standard second-order
+    parameterization".  ``order=3`` additionally matches the third moment
+    (skewness), the parameterization the paper's preliminary results favor.
+    If the empirical third moment is infeasible for the correlated-H2
+    family (possible for short/noisy traces), the fit falls back to second
+    order and says so in the report.
+    """
+    if order not in (2, 3):
+        raise ValidationError(f"order must be 2 or 3, got {order}")
+    stats = empirical_stats(trace, max_lag=max_lag)
+    fallback = None
+    if order == 3:
+        try:
+            fitted = fit_map2_3m(stats.m1, stats.m2, stats.m3, stats.gamma2)
+            return FitReport(
+                map=fitted, stats=stats, order=3, requested_order=3
+            )
+        except FeasibilityError as exc:
+            fallback = str(exc)
+    try:
+        fitted = fit_map2(stats.m1, stats.scv, stats.gamma2)
+    except FeasibilityError:
+        # Last resort: drop the correlation target as well.
+        fitted = fit_map2(stats.m1, max(stats.scv, 1.0), 0.0)
+        fallback = (fallback or "") + "; gamma2 dropped (infeasible)"
+    return FitReport(
+        map=fitted,
+        stats=stats,
+        order=2,
+        requested_order=order,
+        fallback_reason=fallback,
+    )

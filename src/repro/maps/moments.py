@@ -1,0 +1,126 @@
+"""Moment formulas for Markovian Arrival Processes.
+
+All functions operate on raw ``(D0, D1)`` matrix pairs so they can be used
+without constructing a :class:`repro.maps.MAP` object (e.g., inside fitting
+loops).  Notation follows Neuts' matrix-analytic conventions:
+
+* ``D0`` — phase transitions *without* an arrival (negative diagonal),
+* ``D1`` — phase transitions accompanied by an arrival,
+* ``D = D0 + D1`` — generator of the phase process (CTMC),
+* ``theta`` — stationary distribution of ``D`` (``theta @ D = 0``),
+* ``P = (-D0)^-1 @ D1`` — transition matrix of the phase chain embedded at
+  arrival epochs,
+* ``pi_e = theta @ D1 / lambda`` — its stationary distribution,
+* interarrival moments ``E[X^k] = k! * pi_e @ (-D0)^-k @ 1``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import scipy.linalg
+
+from repro.utils.errors import ValidationError
+
+__all__ = [
+    "phase_stationary",
+    "embedded_matrix",
+    "embedded_stationary",
+    "fundamental_rate",
+    "interarrival_moments",
+    "moments_of",
+    "scv_of",
+    "skewness_of",
+]
+
+
+def phase_stationary(D0: np.ndarray, D1: np.ndarray) -> np.ndarray:
+    """Stationary distribution ``theta`` of the phase process ``D = D0 + D1``.
+
+    Solves ``theta @ D = 0``, ``theta @ 1 = 1`` by replacing one balance
+    equation with the normalization condition.
+    """
+    D = np.asarray(D0, dtype=float) + np.asarray(D1, dtype=float)
+    K = D.shape[0]
+    A = np.vstack([D.T[:-1, :], np.ones((1, K))])
+    b = np.zeros(K)
+    b[-1] = 1.0
+    theta = np.linalg.solve(A, b)
+    # Clip tiny negative round-off and renormalize.
+    theta = np.clip(theta, 0.0, None)
+    total = theta.sum()
+    if not math.isfinite(total) or total <= 0.0:
+        raise ValidationError("phase process has no valid stationary distribution")
+    return theta / total
+
+
+def embedded_matrix(D0: np.ndarray, D1: np.ndarray) -> np.ndarray:
+    """Transition matrix ``P = (-D0)^-1 @ D1`` of the arrival-embedded chain."""
+    return np.linalg.solve(-np.asarray(D0, dtype=float), np.asarray(D1, dtype=float))
+
+
+def embedded_stationary(D0: np.ndarray, D1: np.ndarray) -> np.ndarray:
+    """Stationary distribution of the arrival-embedded phase chain.
+
+    Computed as ``theta @ D1 / lambda`` (which always satisfies
+    ``pi_e @ P = pi_e``), avoiding a second eigenproblem.
+    """
+    theta = phase_stationary(D0, D1)
+    flow = theta @ np.asarray(D1, dtype=float)
+    lam = flow.sum()
+    if lam <= 0.0:
+        raise ValidationError("MAP has zero fundamental rate (D1 never fires)")
+    return flow / lam
+
+
+def fundamental_rate(D0: np.ndarray, D1: np.ndarray) -> float:
+    """Long-run arrival rate ``lambda = theta @ D1 @ 1`` (= 1 / mean)."""
+    theta = phase_stationary(D0, D1)
+    return float(theta @ np.asarray(D1, dtype=float) @ np.ones(theta.shape[0]))
+
+
+def interarrival_moments(
+    D0: np.ndarray, D1: np.ndarray, order: int = 3
+) -> np.ndarray:
+    """Raw moments ``E[X^k]`` of the stationary interarrival time, k=1..order.
+
+    Uses ``E[X^k] = k! * pi_e @ M^k @ 1`` with ``M = (-D0)^-1``; the powers
+    are accumulated with repeated solves instead of forming ``M`` explicitly
+    (better conditioned for stiff MAPs).
+    """
+    if order < 1:
+        raise ValueError(f"order must be >= 1, got {order}")
+    D0 = np.asarray(D0, dtype=float)
+    pi_e = embedded_stationary(D0, D1)
+    lu = scipy.linalg.lu_factor(-D0)
+    vec = np.ones(D0.shape[0])
+    out = np.empty(order)
+    fact = 1.0
+    for k in range(1, order + 1):
+        vec = scipy.linalg.lu_solve(lu, vec)
+        fact *= k
+        out[k - 1] = fact * float(pi_e @ vec)
+    return out
+
+
+def moments_of(D0: np.ndarray, D1: np.ndarray) -> tuple[float, float, float]:
+    """Convenience: the first three raw interarrival moments as a tuple."""
+    m = interarrival_moments(D0, D1, order=3)
+    return float(m[0]), float(m[1]), float(m[2])
+
+
+def scv_of(D0: np.ndarray, D1: np.ndarray) -> float:
+    """Squared coefficient of variation of the interarrival time."""
+    m1, m2, _ = moments_of(D0, D1)
+    return (m2 - m1 * m1) / (m1 * m1)
+
+
+def skewness_of(D0: np.ndarray, D1: np.ndarray) -> float:
+    """Skewness ``E[(X - m1)^3] / var^1.5`` of the interarrival time."""
+    m1, m2, m3 = moments_of(D0, D1)
+    var = m2 - m1 * m1
+    if var <= 0.0:
+        raise ValidationError("interarrival variance is non-positive")
+    central3 = m3 - 3.0 * m1 * m2 + 2.0 * m1**3
+    return central3 / var**1.5

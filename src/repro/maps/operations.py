@@ -1,0 +1,96 @@
+"""Algebraic operations on MAPs.
+
+These close the MAP class under the transformations a modeler needs when
+assembling network workloads: time rescaling, superposition of independent
+flows, Bernoulli thinning/splitting (what a probabilistic router does to a
+departure flow), and Markov-mixture composition.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.maps.map import MAP
+from repro.utils.errors import ValidationError
+
+__all__ = ["rescale", "superpose", "thin", "mixture"]
+
+
+def rescale(m: MAP, factor: float) -> MAP:
+    """Speed the process up by ``factor`` (> 0): rates scale, mean divides.
+
+    ``rescale(m, 2)`` produces a MAP with twice the fundamental rate and the
+    same SCV/skewness/ACF (temporal statistics are scale-free).
+    """
+    if factor <= 0:
+        raise ValidationError(f"factor must be positive, got {factor}")
+    return MAP(m.D0 * factor, m.D1 * factor, validate=False)
+
+
+def superpose(a: MAP, b: MAP) -> MAP:
+    """Superposition of two independent MAPs (merged event streams).
+
+    Kronecker construction: ``D0 = A0 (+) B0`` (Kronecker sum) and
+    ``D1 = A1 (x) I + I (x) B1``.  The fundamental rates add.
+    """
+    Ia = np.eye(a.order)
+    Ib = np.eye(b.order)
+    D0 = np.kron(a.D0, Ib) + np.kron(Ia, b.D0)
+    D1 = np.kron(a.D1, Ib) + np.kron(Ia, b.D1)
+    return MAP(D0, D1, validate=False)
+
+
+def thin(m: MAP, keep: float) -> MAP:
+    """Bernoulli thinning: each event is kept independently w.p. ``keep``.
+
+    Dropped events become hidden phase transitions, so
+    ``D1' = keep * D1`` and ``D0' = D0 + (1-keep) * D1``.  The resulting
+    fundamental rate is ``keep * m.rate``.  This is exactly the departure
+    sub-flow selected by a probabilistic routing entry ``p = keep``.
+    """
+    if not 0.0 < keep <= 1.0:
+        raise ValidationError(f"keep probability must be in (0, 1], got {keep}")
+    return MAP(m.D0 + (1.0 - keep) * m.D1, keep * m.D1, validate=False)
+
+
+def mixture(maps: "list[MAP]", switch: np.ndarray) -> MAP:
+    """Markov-mixture of MAPs: after each event, switch regime by ``switch``.
+
+    The composite process runs MAP ``i`` until its next event; with
+    probability ``switch[i, j]`` the next interarrival is produced by MAP
+    ``j`` (started from its embedded stationary phase).  This yields a
+    simple hierarchical burstiness model (regime-switching service).
+
+    Parameters
+    ----------
+    maps:
+        Component MAPs.
+    switch:
+        Row-stochastic regime transition matrix, one row per component.
+    """
+    R = len(maps)
+    switch = np.asarray(switch, dtype=float)
+    if switch.shape != (R, R):
+        raise ValidationError(f"switch must be {R}x{R}, got {switch.shape}")
+    if np.any(switch < 0) or np.any(np.abs(switch.sum(axis=1) - 1.0) > 1e-9):
+        raise ValidationError("switch must be row-stochastic")
+    orders = [m.order for m in maps]
+    offsets = np.concatenate([[0], np.cumsum(orders)])
+    K = int(offsets[-1])
+    D0 = np.zeros((K, K))
+    D1 = np.zeros((K, K))
+    for i, mi in enumerate(maps):
+        sl_i = slice(offsets[i], offsets[i + 1])
+        D0[sl_i, sl_i] = mi.D0
+        exit_rates = mi.D1 @ np.ones(mi.order)  # total event rate per phase
+        for j, mj in enumerate(maps):
+            sl_j = slice(offsets[j], offsets[j + 1])
+            if i == j:
+                # Stay in regime i: keep the MAP's own phase dynamics at events.
+                D1[sl_i, sl_i] += switch[i, i] * mi.D1
+            else:
+                # Jump to regime j, restarting from its embedded stationary phase.
+                D1[sl_i, sl_j] += switch[i, j] * np.outer(
+                    exit_rates, mj.embedded_stationary
+                )
+    return MAP(D0, D1)

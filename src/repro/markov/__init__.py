@@ -1,0 +1,13 @@
+"""Markov-chain substrate: state spaces, CTMC/DTMC solvers, uniformization."""
+
+from repro.markov.statespace import CompositionSpace
+from repro.markov.ctmc import steady_state_ctmc
+from repro.markov.dtmc import steady_state_dtmc
+from repro.markov.uniformization import transient_distribution
+
+__all__ = [
+    "CompositionSpace",
+    "steady_state_ctmc",
+    "steady_state_dtmc",
+    "transient_distribution",
+]

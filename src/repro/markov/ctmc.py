@@ -1,0 +1,108 @@
+"""Steady-state solution of continuous-time Markov chains.
+
+Solves ``pi @ Q = 0`` with ``pi @ 1 = 1`` for sparse generators.  The direct
+method replaces one balance equation with the normalization condition and
+factorizes once; the iterative method (GMRES + ILU) covers state spaces too
+large for a sparse LU — the regime where the paper's bounds are the only
+practical analytic option.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.utils.errors import SolverError
+
+__all__ = ["steady_state_ctmc"]
+
+
+def _solve_direct(QT: sp.csr_matrix) -> np.ndarray:
+    S = QT.shape[0]
+    A = QT.tolil(copy=True)
+    A[S - 1, :] = 1.0  # replace last equation with normalization
+    b = np.zeros(S)
+    b[S - 1] = 1.0
+    pi = spla.spsolve(A.tocsc(), b)
+    return pi
+
+
+def _solve_gmres(QT: sp.csr_matrix, tol: float) -> np.ndarray:
+    S = QT.shape[0]
+    # Regularized system: (Q^T + e e_last^T-style normalization row).
+    A = QT.tolil(copy=True)
+    A[S - 1, :] = 1.0
+    A = A.tocsc()
+    b = np.zeros(S)
+    b[S - 1] = 1.0
+    try:
+        ilu = spla.spilu(A, drop_tol=1e-5, fill_factor=20)
+        M = spla.LinearOperator((S, S), ilu.solve)
+    except RuntimeError:
+        M = None
+    x0 = np.full(S, 1.0 / S)
+    pi, info = spla.gmres(A, b, x0=x0, M=M, rtol=tol, maxiter=2000, restart=100)
+    if info != 0:
+        raise SolverError(f"GMRES failed to converge (info={info})")
+    return pi
+
+
+def steady_state_ctmc(
+    Q: "sp.spmatrix | np.ndarray",
+    method: str = "auto",
+    tol: float = 1e-12,
+) -> np.ndarray:
+    """Stationary distribution of the CTMC with generator ``Q``.
+
+    Parameters
+    ----------
+    Q:
+        Generator matrix (rows sum to zero), sparse or dense.
+    method:
+        ``"direct"`` (sparse LU), ``"gmres"`` (ILU-preconditioned), or
+        ``"auto"`` (direct up to 300k states, GMRES beyond).
+    tol:
+        Convergence/validation tolerance.
+
+    Returns
+    -------
+    numpy.ndarray
+        Probability vector ``pi`` with ``pi @ Q ~= 0`` and ``sum(pi) = 1``.
+    """
+    Qs = sp.csr_matrix(Q) if not sp.issparse(Q) else Q.tocsr()
+    S = Qs.shape[0]
+    if Qs.shape[0] != Qs.shape[1]:
+        raise ValueError(f"Q must be square, got {Qs.shape}")
+    rowsum = np.abs(np.asarray(Qs.sum(axis=1)).ravel())
+    scale = max(1.0, float(np.abs(Qs.diagonal()).max()))
+    if np.any(rowsum > 1e-8 * scale):
+        raise ValueError("Q rows must sum to zero (not a generator)")
+    if S == 1:
+        return np.ones(1)
+
+    QT = Qs.T.tocsr()
+    if method == "auto":
+        method = "direct" if S <= 300_000 else "gmres"
+    if method == "direct":
+        pi = _solve_direct(QT)
+    elif method == "gmres":
+        pi = _solve_gmres(QT, tol=max(tol, 1e-12))
+    else:
+        raise ValueError(f"unknown method {method!r}")
+
+    # Clean round-off and validate.
+    pi = np.where(np.abs(pi) < 1e-15, 0.0, pi)
+    if np.any(pi < -1e-8):
+        raise SolverError(
+            f"stationary solve produced negative probabilities (min {pi.min():.3g})"
+        )
+    pi = np.clip(pi, 0.0, None)
+    total = pi.sum()
+    if not np.isfinite(total) or total <= 0:
+        raise SolverError("stationary solve produced a non-normalizable vector")
+    pi /= total
+    residual = np.abs(pi @ Qs).max()
+    if residual > 1e-6 * scale:
+        raise SolverError(f"stationary residual too large: {residual:.3g}")
+    return pi

@@ -1,0 +1,40 @@
+"""Steady-state solution of discrete-time Markov chains."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.errors import SolverError, ValidationError
+
+__all__ = ["steady_state_dtmc"]
+
+
+def steady_state_dtmc(P: np.ndarray, tol: float = 1e-10) -> np.ndarray:
+    """Stationary distribution of a (dense, irreducible) stochastic matrix.
+
+    Solves ``pi (P - I) = 0`` with normalization via a dense linear system;
+    intended for the small embedded chains of MAPs and routing chains, not
+    for full network state spaces.
+    """
+    P = np.asarray(P, dtype=float)
+    if P.ndim != 2 or P.shape[0] != P.shape[1]:
+        raise ValidationError(f"P must be square, got {P.shape}")
+    if np.any(P < -1e-10) or np.any(np.abs(P.sum(axis=1) - 1.0) > 1e-8):
+        raise ValidationError("P must be row-stochastic")
+    K = P.shape[0]
+    if K == 1:
+        return np.ones(1)
+    A = np.vstack([(P.T - np.eye(K))[:-1], np.ones((1, K))])
+    b = np.zeros(K)
+    b[-1] = 1.0
+    try:
+        pi = np.linalg.solve(A, b)
+    except np.linalg.LinAlgError as exc:  # singular: chain not irreducible
+        raise SolverError(f"DTMC stationary solve failed: {exc}") from exc
+    if np.any(pi < -1e-8):
+        raise SolverError("DTMC stationary solve produced negative probabilities")
+    pi = np.clip(pi, 0.0, None)
+    pi /= pi.sum()
+    if np.abs(pi @ P - pi).max() > max(tol, 1e-8):
+        raise SolverError("DTMC stationary residual too large")
+    return pi

@@ -1,0 +1,123 @@
+"""Composition state spaces for closed networks.
+
+The population vector ``(n_1, ..., n_M)`` of a closed network with N jobs is
+a weak composition of N into M parts.  This module enumerates all
+``C(N+M-1, M-1)`` compositions in lexicographic order and provides a
+*vectorized* ranking function, which is what makes sparse generator assembly
+feasible for state spaces with hundreds of thousands of states (the paper's
+"state space explosion" regime that motivates the bounds).
+
+Ranking uses the combinatorial number system: with remaining total ``R_i``
+before position ``i``, every choice ``v < n_i`` for part ``i`` is followed by
+``W(R_i - v, M - i)`` completions, where ``W(t, k) = C(t+k-1, k-1)`` counts
+weak compositions of ``t`` into ``k`` parts.  Prefix sums of ``W`` turn the
+inner sum into two table lookups.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.special import comb
+
+__all__ = ["CompositionSpace"]
+
+
+def _weak_compositions_count(total: int, parts: int) -> int:
+    return int(comb(total + parts - 1, parts - 1, exact=True))
+
+
+class CompositionSpace:
+    """All weak compositions of ``total`` into ``parts`` parts, lex order.
+
+    Attributes
+    ----------
+    states:
+        ``(size, parts)`` int array; row ``r`` is the composition of rank ``r``.
+    size:
+        Number of compositions, ``C(total+parts-1, parts-1)``.
+    """
+
+    def __init__(self, total: int, parts: int) -> None:
+        if total < 0:
+            raise ValueError(f"total must be >= 0, got {total}")
+        if parts < 1:
+            raise ValueError(f"parts must be >= 1, got {parts}")
+        self.total = total
+        self.parts = parts
+        self.size = _weak_compositions_count(total, parts)
+        # Cumulative composition counts CS_k[r] = sum_{u=0}^{r} W(u, k),
+        # for k = 1..parts-1 suffix lengths (k parts remaining).
+        self._cs = {}
+        for k in range(1, parts):
+            w = np.array(
+                [_weak_compositions_count(u, k) for u in range(total + 1)],
+                dtype=np.int64,
+            )
+            self._cs[k] = np.concatenate([[0], np.cumsum(w)])  # CS[r+1]=sum_{u<=r}
+        self.states = self._enumerate()
+
+    def _enumerate(self) -> np.ndarray:
+        """Enumerate all compositions in lexicographic order (vectorized)."""
+        N, M = self.total, self.parts
+        if M == 1:
+            return np.full((1, 1), N, dtype=np.int64)
+        # Build iteratively: prefixes with their remaining totals.
+        # Start with first part values 0..N (lex ascending).
+        prefix = np.arange(N + 1, dtype=np.int64)[:, None]  # (n_1)
+        remaining = N - prefix[:, -1]
+        for _pos in range(1, M - 1):
+            # For each prefix, append 0..remaining values.
+            counts = remaining + 1
+            reps = np.repeat(np.arange(len(prefix)), counts)
+            # Value index within each block: 0..remaining[block].
+            offsets = np.concatenate([[0], np.cumsum(counts)])
+            idx = np.arange(offsets[-1]) - offsets[reps]
+            prefix = np.hstack([prefix[reps], idx[:, None]])
+            remaining = remaining[reps] - idx
+        states = np.hstack([prefix, remaining[:, None]])
+        if len(states) != self.size:
+            raise AssertionError(
+                f"enumeration produced {len(states)} states, expected {self.size}"
+            )
+        return states
+
+    def rank(self, states: np.ndarray) -> np.ndarray:
+        """Lexicographic rank of each composition row in ``states``.
+
+        Vectorized: ``states`` may be ``(B, parts)`` or a single composition.
+        No validation of row sums is performed (callers construct valid
+        neighbors); out-of-range values raise ``IndexError``.
+        """
+        arr = np.asarray(states, dtype=np.int64)
+        single = arr.ndim == 1
+        if single:
+            arr = arr[None, :]
+        if arr.shape[1] != self.parts:
+            raise ValueError(f"states must have {self.parts} columns")
+        B = arr.shape[0]
+        ranks = np.zeros(B, dtype=np.int64)
+        remaining = np.full(B, self.total, dtype=np.int64)
+        for i in range(self.parts - 1):
+            k = self.parts - 1 - i  # parts after position i
+            cs = self._cs[k]
+            ni = arr[:, i]
+            # sum_{v=0}^{ni-1} W(remaining - v, k)
+            #   = CS[remaining + 1] - CS[remaining - ni + 1]
+            ranks += cs[remaining + 1] - cs[remaining - ni + 1]
+            remaining = remaining - ni
+        return ranks[0] if single else ranks
+
+    def unrank(self, rank: int) -> np.ndarray:
+        """Composition of the given lexicographic rank (scalar convenience)."""
+        if not 0 <= rank < self.size:
+            raise IndexError(f"rank {rank} out of range [0, {self.size})")
+        return self.states[rank].copy()
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CompositionSpace(total={self.total}, parts={self.parts}, "
+            f"size={self.size})"
+        )

@@ -1,0 +1,22 @@
+"""Closed MAP queueing networks: model definition and exact analysis."""
+
+from repro.network.stations import Station, queue, delay, multiserver
+from repro.network.routing import validate_routing, visit_ratios, routing_graph
+from repro.network.model import ClosedNetwork
+from repro.network.statespace import NetworkStateSpace
+from repro.network.exact import ExactSolution, build_generator, solve_exact
+
+__all__ = [
+    "Station",
+    "queue",
+    "delay",
+    "multiserver",
+    "validate_routing",
+    "visit_ratios",
+    "routing_graph",
+    "ClosedNetwork",
+    "NetworkStateSpace",
+    "ExactSolution",
+    "build_generator",
+    "solve_exact",
+]

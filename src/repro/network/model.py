@@ -1,0 +1,117 @@
+"""The closed MAP queueing network model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+from repro.network.routing import validate_routing, visit_ratios
+from repro.network.stations import Station
+from repro.utils.errors import ValidationError
+
+__all__ = ["ClosedNetwork"]
+
+
+@dataclass(frozen=True)
+class ClosedNetwork:
+    """Closed single-class queueing network with MAP service processes.
+
+    Parameters
+    ----------
+    stations:
+        Tuple of :class:`~repro.network.stations.Station`.
+    routing:
+        ``(M, M)`` row-stochastic matrix: ``routing[j, k]`` is the
+        probability that a job completing service at station ``j`` proceeds
+        to station ``k``.
+    population:
+        Number of circulating jobs ``N``.
+
+    Examples
+    --------
+    The example network of the paper's Figure 5 (two exponential queues
+    feeding a MAP queue) is built by
+    :func:`repro.experiments.fig8.fig5_network`.
+    """
+
+    stations: tuple[Station, ...]
+    routing: np.ndarray
+    population: int
+
+    def __init__(self, stations, routing, population: int) -> None:
+        stations = tuple(stations)
+        if len(stations) < 1:
+            raise ValidationError("network needs at least one station")
+        names = [s.name for s in stations]
+        if len(set(names)) != len(names):
+            raise ValidationError(f"station names must be unique, got {names}")
+        if population < 1:
+            raise ValidationError(f"population must be >= 1, got {population}")
+        P = validate_routing(routing, len(stations))
+        P.setflags(write=False)
+        object.__setattr__(self, "stations", stations)
+        object.__setattr__(self, "routing", P)
+        object.__setattr__(self, "population", int(population))
+
+    # ------------------------------------------------------------------ #
+    @property
+    def n_stations(self) -> int:
+        """Number of stations M."""
+        return len(self.stations)
+
+    @cached_property
+    def phase_orders(self) -> tuple[int, ...]:
+        """Service-phase counts ``K_k`` per station."""
+        return tuple(s.phases for s in self.stations)
+
+    @cached_property
+    def visit_ratios(self) -> np.ndarray:
+        """Visit ratios relative to station 0 (``v[0] = 1``)."""
+        return visit_ratios(self.routing, reference=0)
+
+    @cached_property
+    def service_demands(self) -> np.ndarray:
+        """Per-station service demands ``D_k = v_k * E[S_k]`` (one server)."""
+        return self.visit_ratios * np.array(
+            [s.mean_service_time for s in self.stations]
+        )
+
+    @cached_property
+    def bottleneck(self) -> int:
+        """Index of the station with the largest service demand."""
+        return int(np.argmax(self.service_demands))
+
+    @cached_property
+    def is_product_form(self) -> bool:
+        """True when all service processes are exponential (BCMP/FCFS)."""
+        return all(s.phases == 1 for s in self.stations)
+
+    def station_index(self, name: str) -> int:
+        """Index of the station with the given name."""
+        for i, s in enumerate(self.stations):
+            if s.name == name:
+                return i
+        raise KeyError(f"no station named {name!r}")
+
+    def with_population(self, population: int) -> "ClosedNetwork":
+        """Copy of this network with a different job population.
+
+        Population sweeps (every figure of the paper) reuse the same
+        stations/routing, so this is the canonical way to iterate over N.
+        """
+        return ClosedNetwork(self.stations, self.routing, population)
+
+    def with_station(self, index: int, station: Station) -> "ClosedNetwork":
+        """Copy with one station replaced (e.g., the "no-ACF" variant of
+        Figure 3, where the bursty front server becomes exponential)."""
+        stations = list(self.stations)
+        stations[index] = station
+        return ClosedNetwork(stations, self.routing, self.population)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kinds = ", ".join(
+            f"{s.name}:{s.kind}(K={s.phases})" for s in self.stations
+        )
+        return f"ClosedNetwork(N={self.population}, stations=[{kinds}])"

@@ -1,0 +1,71 @@
+"""Routing matrices and visit ratios for single-class closed networks."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+from repro.utils.errors import ValidationError
+
+__all__ = ["validate_routing", "visit_ratios", "routing_graph"]
+
+
+def validate_routing(P: np.ndarray, n_stations: int) -> np.ndarray:
+    """Validate and return the routing matrix as a float array.
+
+    Requirements: shape ``(M, M)``, entries in [0, 1], rows sum to 1 (a
+    closed network conserves jobs), and the induced directed graph is
+    strongly connected (every station reachable from every other — otherwise
+    the long-run behavior depends on the initial placement of jobs and the
+    network decomposes).
+    """
+    P = np.asarray(P, dtype=float)
+    if P.shape != (n_stations, n_stations):
+        raise ValidationError(
+            f"routing matrix must be {n_stations}x{n_stations}, got {P.shape}"
+        )
+    if np.any(P < -1e-12) or np.any(P > 1.0 + 1e-12):
+        raise ValidationError("routing probabilities must lie in [0, 1]")
+    rowsum = P.sum(axis=1)
+    if np.any(np.abs(rowsum - 1.0) > 1e-9):
+        raise ValidationError(
+            f"routing rows must sum to 1 (closed network); got row sums {rowsum}"
+        )
+    G = routing_graph(P)
+    if not nx.is_strongly_connected(G):
+        raise ValidationError("routing graph must be strongly connected")
+    return np.clip(P, 0.0, 1.0)
+
+
+def routing_graph(P: np.ndarray) -> "nx.DiGraph":
+    """Directed graph with an edge j->k wherever ``P[j,k] > 0``."""
+    M = P.shape[0]
+    G = nx.DiGraph()
+    G.add_nodes_from(range(M))
+    for j in range(M):
+        for k in range(M):
+            if P[j, k] > 1e-15:
+                G.add_edge(j, k, weight=float(P[j, k]))
+    return G
+
+
+def visit_ratios(P: np.ndarray, reference: int = 0) -> np.ndarray:
+    """Relative visit counts ``v`` solving ``v = v P`` with ``v[reference]=1``.
+
+    ``v[k]`` is the mean number of visits a job pays to station ``k``
+    between consecutive visits to the reference station; service demands
+    are ``D_k = v_k * E[S_k]``.
+    """
+    P = np.asarray(P, dtype=float)
+    M = P.shape[0]
+    if not 0 <= reference < M:
+        raise ValidationError(f"reference station {reference} out of range")
+    A = (P.T - np.eye(M)).copy()
+    A[reference, :] = 0.0
+    A[reference, reference] = 1.0
+    b = np.zeros(M)
+    b[reference] = 1.0
+    v = np.linalg.solve(A, b)
+    if np.any(v < -1e-9):
+        raise ValidationError("visit ratios came out negative; routing is invalid")
+    return np.clip(v, 0.0, None)

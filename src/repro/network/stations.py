@@ -1,0 +1,102 @@
+"""Service stations of a closed MAP queueing network.
+
+The paper's model class is single-class FCFS queues whose service processes
+are MAPs; the phase of an idle queue stays frozen at the phase "left active
+by the last served job" (Fig. 6 caption).  We additionally support
+load-dependent *exponential* stations (delay/infinite-server and
+multiserver), which the TPC-W model of Figure 2 needs for client think
+times.  Load dependence for multi-phase MAPs is deliberately rejected: a
+bank of MAP servers has a phase per server and is *not* expressible by
+rate-scaling a single phase process, so silently scaling would change the
+model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.maps.map import MAP
+from repro.utils.errors import NotSupportedError, ValidationError
+
+__all__ = ["Station", "queue", "delay", "multiserver"]
+
+
+@dataclass(frozen=True)
+class Station:
+    """A service station.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier (unique within a network).
+    service:
+        The MAP service process (order 1 = exponential).
+    kind:
+        ``"queue"`` (single-server FCFS), ``"delay"`` (infinite server), or
+        ``"multiserver"`` (``servers`` parallel exponential servers).
+    servers:
+        Number of servers for ``kind="multiserver"``; ignored otherwise.
+    """
+
+    name: str
+    service: MAP
+    kind: str = "queue"
+    servers: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("queue", "delay", "multiserver"):
+            raise ValidationError(f"unknown station kind {self.kind!r}")
+        if self.kind == "multiserver" and self.servers < 1:
+            raise ValidationError(f"multiserver needs servers >= 1, got {self.servers}")
+        if self.kind in ("delay", "multiserver") and self.service.order > 1:
+            raise NotSupportedError(
+                f"station {self.name!r}: load-dependent stations require "
+                "exponential service (a bank of MAP servers has per-server "
+                "phases and cannot be modeled by rate scaling)"
+            )
+
+    @property
+    def phases(self) -> int:
+        """Number of service phases K."""
+        return self.service.order
+
+    @property
+    def is_load_dependent(self) -> bool:
+        return self.kind != "queue"
+
+    def rate_scale(self, n: "int | np.ndarray") -> "float | np.ndarray":
+        """Service-rate multiplier ``c(n)`` at queue length ``n``.
+
+        ``queue``: 1 for n >= 1; ``delay``: n; ``multiserver``: min(n, s).
+        Zero at n = 0 for every kind (an empty station serves nobody).
+        """
+        n_arr = np.asarray(n)
+        if self.kind == "queue":
+            out = (n_arr >= 1).astype(float)
+        elif self.kind == "delay":
+            out = n_arr.astype(float)
+        else:
+            out = np.minimum(n_arr, self.servers).astype(float)
+        return float(out) if np.isscalar(n) else out
+
+    @property
+    def mean_service_time(self) -> float:
+        """Mean service time of one job at one server."""
+        return self.service.mean
+
+
+def queue(name: str, service: MAP) -> Station:
+    """Single-server FCFS queue with MAP service (the paper's station type)."""
+    return Station(name=name, service=service, kind="queue")
+
+
+def delay(name: str, service: MAP) -> Station:
+    """Infinite-server (think-time) station; requires exponential service."""
+    return Station(name=name, service=service, kind="delay")
+
+
+def multiserver(name: str, service: MAP, servers: int) -> Station:
+    """``servers`` parallel exponential servers sharing one FCFS queue."""
+    return Station(name=name, service=service, kind="multiserver", servers=servers)

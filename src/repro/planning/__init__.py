@@ -1,0 +1,26 @@
+"""Bounds-driven configuration planning (the paper's future work, §4).
+
+"Future work will focus on defining dynamic resource allocation policies
+that strive to minimize request round-trip times under temporal dependent
+workloads.  This can be done ... at the system-level by exploring in real
+time (e.g., with the proposed bounds) alternative network configurations
+that lead to improved performance."
+
+:func:`rank_configurations` scores candidate networks by their *certified*
+worst-case response time (the LP upper bound), and
+:func:`greedy_speed_allocation` spends a multiplicative speed budget across
+stations to minimize that certificate — burstiness-aware capacity planning
+that a mean-value model cannot do.
+"""
+
+from repro.planning.allocation import (
+    ConfigurationScore,
+    rank_configurations,
+    greedy_speed_allocation,
+)
+
+__all__ = [
+    "ConfigurationScore",
+    "rank_configurations",
+    "greedy_speed_allocation",
+]

@@ -1,0 +1,121 @@
+"""Configuration search driven by the LP bounds.
+
+All decisions are made on *certified* quantities: a configuration is
+preferred when its response-time **upper bound** is lower, so the chosen
+configuration carries a performance guarantee rather than a point estimate
+— exactly the "explore alternative configurations with the proposed
+bounds" policy sketched in the paper's conclusions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.bounds import Interval, response_time_bounds
+from repro.maps.operations import rescale
+from repro.network.model import ClosedNetwork
+from repro.network.stations import Station
+from repro.utils.errors import ValidationError
+
+__all__ = ["ConfigurationScore", "rank_configurations", "greedy_speed_allocation"]
+
+
+@dataclass(frozen=True)
+class ConfigurationScore:
+    """A candidate configuration with its certified response-time interval."""
+
+    label: str
+    network: ClosedNetwork
+    response_time: Interval
+
+    @property
+    def certificate(self) -> float:
+        """The guaranteed (upper-bound) response time."""
+        return self.response_time.upper
+
+
+def rank_configurations(
+    candidates: "dict[str, ClosedNetwork] | list[tuple[str, ClosedNetwork]]",
+    reference: int = 0,
+    triples: bool | None = None,
+) -> list[ConfigurationScore]:
+    """Score candidate networks by certified response time, best first.
+
+    Parameters
+    ----------
+    candidates:
+        Labeled candidate networks (same population recommended; the
+        certificates are comparable regardless, but mixing scenarios is on
+        the caller).
+    reference:
+        Reference station for ``R = N / X``.
+    triples:
+        Constraint-tier selector forwarded to the bound computation.
+    """
+    items = candidates.items() if isinstance(candidates, dict) else candidates
+    scores = [
+        ConfigurationScore(
+            label=label,
+            network=net,
+            response_time=response_time_bounds(net, reference, triples=triples),
+        )
+        for label, net in items
+    ]
+    if not scores:
+        raise ValidationError("no candidate configurations supplied")
+    return sorted(scores, key=lambda s: s.certificate)
+
+
+def _speed_up(station: Station, factor: float) -> Station:
+    return Station(
+        name=station.name,
+        service=rescale(station.service, factor),
+        kind=station.kind,
+        servers=station.servers,
+    )
+
+
+def greedy_speed_allocation(
+    network: ClosedNetwork,
+    total_budget: float,
+    step: float = 1.25,
+    reference: int = 0,
+    triples: bool | None = None,
+) -> tuple[ClosedNetwork, list[ConfigurationScore]]:
+    """Allocate a multiplicative speed budget to minimize certified R.
+
+    Repeatedly spends a factor ``step`` of speedup on whichever station
+    (greedily, one LP evaluation per candidate) lowers the response-time
+    upper bound the most, until the combined speedup would exceed
+    ``total_budget``.  Returns the final network and the audit trail of
+    accepted steps.
+
+    This is deliberately a *policy skeleton*: each step is certified, so
+    the trail doubles as a what-if report for capacity planning.
+    """
+    if total_budget < 1.0:
+        raise ValidationError(f"total_budget must be >= 1, got {total_budget}")
+    if step <= 1.0:
+        raise ValidationError(f"step must be > 1, got {step}")
+    current = network
+    spent = 1.0
+    trail: list[ConfigurationScore] = [
+        ConfigurationScore(
+            label="baseline",
+            network=current,
+            response_time=response_time_bounds(current, reference, triples=triples),
+        )
+    ]
+    while spent * step <= total_budget * (1.0 + 1e-9):
+        candidates = {}
+        for k, st in enumerate(current.stations):
+            label = f"speed up {st.name} x{step:.3g}"
+            candidates[label] = current.with_station(k, _speed_up(st, step))
+        ranked = rank_configurations(candidates, reference, triples=triples)
+        best = ranked[0]
+        if best.certificate >= trail[-1].certificate - 1e-12:
+            break  # no station improves the certificate any further
+        current = best.network
+        spent *= step
+        trail.append(best)
+    return current, trail

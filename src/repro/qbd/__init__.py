@@ -1,0 +1,22 @@
+"""Matrix-geometric methods for quasi-birth-death (QBD) processes.
+
+The paper situates its contribution against the matrix-analytic state of
+the art: "only small autocorrelated models based on one or two queues have
+been considered in the literature, mostly in matrix analytic methods
+research".  This subpackage provides that classical layer — the
+matrix-geometric solution of level-independent QBDs (Neuts' R-matrix) and
+the MAP/M/1 queue built on it — both as a substrate in its own right and
+as an independent oracle for the open-queue limits of the network tools.
+"""
+
+from repro.qbd.solver import solve_r_matrix, QbdSolution, solve_qbd
+from repro.qbd.mapm1 import MapM1Queue
+from repro.qbd.mapmap1 import MapMap1Queue
+
+__all__ = [
+    "solve_r_matrix",
+    "QbdSolution",
+    "solve_qbd",
+    "MapM1Queue",
+    "MapMap1Queue",
+]

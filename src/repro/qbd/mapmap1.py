@@ -1,0 +1,97 @@
+"""The MAP/MAP/1 queue — bursty arrivals *and* bursty service.
+
+This is the canonical single-queue model of the matrix-analytic literature
+the paper cites ("models based on one or two queues ... mostly in matrix
+analytic methods research"), and the open-queue counterpart of one station
+of a MAP queueing network: service times follow a MAP whose phase freezes
+while the queue is idle — the same convention as the network model
+(Figure 6 caption).
+
+QBD structure (level = jobs in system, phase = (arrival, service) pair):
+
+* ``A0 = Da1 (x) I``            arrival (level up; service phase untouched),
+* ``A1 = Da0 (x) I + I (x) Ds0``  hidden phase transitions of either MAP,
+* ``A2 = I (x) Ds1``            service completion (level down),
+* ``B1 = Da0 (x) I``            at level 0 only the arrival MAP moves
+                                 (service phase frozen).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+from repro.maps.map import MAP
+from repro.qbd.solver import QbdSolution, solve_qbd
+from repro.utils.errors import ValidationError
+
+__all__ = ["MapMap1Queue"]
+
+
+@dataclass(frozen=True)
+class MapMap1Queue:
+    """MAP/MAP/1 queue with MAP arrivals and MAP service."""
+
+    arrivals: MAP
+    service: MAP
+
+    @property
+    def offered_load(self) -> float:
+        """``rho = lambda_arrivals / mu_service``."""
+        return self.arrivals.rate / self.service.rate
+
+    @property
+    def is_stable(self) -> bool:
+        return self.offered_load < 1.0
+
+    @property
+    def n_phases(self) -> int:
+        return self.arrivals.order * self.service.order
+
+    @cached_property
+    def solution(self) -> QbdSolution:
+        """Matrix-geometric stationary solution (raises if unstable)."""
+        if not self.is_stable:
+            raise ValidationError(
+                f"MAP/MAP/1 is unstable: rho = {self.offered_load:.4f} >= 1"
+            )
+        Ia = np.eye(self.arrivals.order)
+        Is = np.eye(self.service.order)
+        A0 = np.kron(self.arrivals.D1, Is)
+        A1 = np.kron(self.arrivals.D0, Is) + np.kron(Ia, self.service.D0)
+        A2 = np.kron(Ia, self.service.D1)
+        B1 = np.kron(self.arrivals.D0, Is)
+        return solve_qbd(A0=A0, A1=A1, A2=A2, B1=B1)
+
+    # ------------------------------------------------------------------ #
+    # performance measures
+    # ------------------------------------------------------------------ #
+    def queue_length_distribution(self, max_level: int) -> np.ndarray:
+        """``P[N = n]`` for n = 0..max_level."""
+        sol = self.solution
+        return np.array([sol.level_probability(n) for n in range(max_level + 1)])
+
+    @cached_property
+    def utilization(self) -> float:
+        """``P[busy]`` — equals ``rho`` (a built-in consistency check)."""
+        return 1.0 - self.solution.idle_probability()
+
+    @cached_property
+    def mean_queue_length(self) -> float:
+        """``E[N]`` including the job in service."""
+        return self.solution.mean_level()
+
+    @cached_property
+    def mean_response_time(self) -> float:
+        """``E[T] = E[N] / lambda`` (Little)."""
+        return self.mean_queue_length / self.arrivals.rate
+
+    def tail_probability(self, n: int) -> float:
+        """``P[N >= n]``."""
+        return self.solution.tail_probability(n)
+
+    def caudal_characteristic(self) -> float:
+        """Spectral radius of ``R`` — the queue-tail decay rate."""
+        return float(max(abs(v) for v in np.linalg.eigvals(self.solution.R)))

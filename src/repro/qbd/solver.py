@@ -1,0 +1,166 @@
+"""Matrix-geometric solution of level-independent QBD processes.
+
+A QBD is a CTMC on states ``(level n >= 0, phase h)`` whose generator has
+block-tridiagonal, level-independent structure above the boundary:
+
+    Q = [ B1  B0            ]
+        [ A2  A1  A0        ]
+        [     A2  A1  A0    ]
+        [         ...       ]
+
+with ``A0`` (level up), ``A1`` (local), ``A2`` (level down), and boundary
+blocks ``B1`` (local at level 0) and ``B0`` (up from level 0; defaults to
+``A0``).  The stationary distribution is matrix-geometric:
+``pi_n = pi_1 R^{n-1}`` for n >= 1, where ``R`` is the minimal nonnegative
+solution of ``A0 + R A1 + R^2 A2 = 0`` (Neuts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+from repro.utils.errors import SolverError, ValidationError
+
+__all__ = ["solve_r_matrix", "QbdSolution", "solve_qbd"]
+
+
+def solve_r_matrix(
+    A0: np.ndarray,
+    A1: np.ndarray,
+    A2: np.ndarray,
+    tol: float = 1e-13,
+    max_iter: int = 200_000,
+) -> np.ndarray:
+    """Minimal nonnegative solution ``R`` of ``A0 + R A1 + R^2 A2 = 0``.
+
+    Uses the classic functional iteration
+    ``R <- -(A0 + R^2 A2) A1^{-1}`` starting from 0, which converges
+    monotonically to the minimal solution for irreducible positive-
+    recurrent QBDs.  Spectral radius of ``R`` below 1 certifies stability.
+    """
+    A0 = np.asarray(A0, dtype=float)
+    A1 = np.asarray(A1, dtype=float)
+    A2 = np.asarray(A2, dtype=float)
+    K = A0.shape[0]
+    for name, M in (("A0", A0), ("A1", A1), ("A2", A2)):
+        if M.shape != (K, K):
+            raise ValidationError(f"{name} must be {K}x{K}, got {M.shape}")
+    if np.any(A0 < -1e-12) or np.any(A2 < -1e-12):
+        raise ValidationError("A0 and A2 must be nonnegative rate blocks")
+    rowsum = (A0 + A1 + A2) @ np.ones(K)
+    if np.any(np.abs(rowsum) > 1e-8 * max(1.0, np.abs(A1).max())):
+        raise ValidationError("A0 + A1 + A2 must have zero row sums")
+
+    A1_inv = np.linalg.inv(A1)
+    R = np.zeros((K, K))
+    for it in range(max_iter):
+        R_next = -(A0 + R @ R @ A2) @ A1_inv
+        delta = np.abs(R_next - R).max()
+        R = R_next
+        if delta < tol:
+            break
+    else:
+        raise SolverError(
+            f"R-matrix iteration did not converge in {max_iter} steps "
+            f"(last delta {delta:.3g}); is the QBD positive recurrent?"
+        )
+    if np.any(R < -1e-9):
+        raise SolverError("R-matrix iteration produced negative entries")
+    R = np.clip(R, 0.0, None)
+    if max(abs(v) for v in np.linalg.eigvals(R)) >= 1.0 - 1e-10:
+        raise SolverError(
+            "spectral radius of R is >= 1: the QBD is not positive recurrent "
+            "(offered load >= capacity)"
+        )
+    return R
+
+
+@dataclass
+class QbdSolution:
+    """Stationary solution of a QBD in matrix-geometric form."""
+
+    pi0: np.ndarray
+    pi1: np.ndarray
+    R: np.ndarray
+
+    @cached_property
+    def _neumann(self) -> np.ndarray:
+        """``(I - R)^-1`` — the tail summation operator."""
+        K = self.R.shape[0]
+        return np.linalg.inv(np.eye(K) - self.R)
+
+    def level(self, n: int) -> np.ndarray:
+        """Stationary probability vector of level ``n`` (phase-resolved)."""
+        if n < 0:
+            raise ValueError(f"level must be >= 0, got {n}")
+        if n == 0:
+            return self.pi0.copy()
+        return self.pi1 @ np.linalg.matrix_power(self.R, n - 1)
+
+    def level_probability(self, n: int) -> float:
+        """``P[level = n]``."""
+        return float(self.level(n).sum())
+
+    def idle_probability(self) -> float:
+        """``P[level = 0]``."""
+        return float(self.pi0.sum())
+
+    def mean_level(self) -> float:
+        """``E[level] = pi_1 (I - R)^-2 1``."""
+        K = self.R.shape[0]
+        ones = np.ones(K)
+        return float(self.pi1 @ self._neumann @ self._neumann @ ones)
+
+    def tail_probability(self, n: int) -> float:
+        """``P[level >= n]`` for n >= 1 (geometric tail sum)."""
+        if n < 1:
+            return 1.0
+        vec = self.pi1 @ np.linalg.matrix_power(self.R, n - 1)
+        return float(vec @ self._neumann @ np.ones(self.R.shape[0]))
+
+
+def solve_qbd(
+    A0: np.ndarray,
+    A1: np.ndarray,
+    A2: np.ndarray,
+    B1: np.ndarray,
+    B0: np.ndarray | None = None,
+    tol: float = 1e-13,
+) -> QbdSolution:
+    """Solve a level-independent QBD with boundary blocks ``(B1, B0)``.
+
+    The boundary equations are::
+
+        pi_0 B1 + pi_1 A2            = 0
+        pi_0 B0 + pi_1 (A1 + R A2)   = 0
+
+    normalized by ``pi_0 1 + pi_1 (I - R)^-1 1 = 1``.
+    """
+    A0 = np.asarray(A0, dtype=float)
+    B0 = A0 if B0 is None else np.asarray(B0, dtype=float)
+    B1 = np.asarray(B1, dtype=float)
+    K = A0.shape[0]
+    R = solve_r_matrix(A0, A1, A2, tol=tol)
+
+    # Assemble the boundary linear system for the row vector [pi0, pi1].
+    top = np.hstack([B1, B0])
+    bottom = np.hstack([np.asarray(A2, dtype=float), A1 + R @ np.asarray(A2)])
+    M = np.vstack([top, bottom])  # [pi0, pi1] @ M = 0
+    A = M.T.copy()
+    # Replace one equation by the normalization condition.
+    neumann = np.linalg.inv(np.eye(K) - R)
+    norm_row = np.concatenate([np.ones(K), neumann @ np.ones(K)])
+    A[-1, :] = norm_row
+    b = np.zeros(2 * K)
+    b[-1] = 1.0
+    try:
+        x = np.linalg.solve(A, b)
+    except np.linalg.LinAlgError as exc:
+        raise SolverError(f"QBD boundary system is singular: {exc}") from exc
+    if np.any(x < -1e-8):
+        raise SolverError("QBD boundary solve produced negative probabilities")
+    x = np.clip(x, 0.0, None)
+    return QbdSolution(pi0=x[:K], pi1=x[K:], R=R)

@@ -1,0 +1,7 @@
+"""Discrete-event simulation of closed MAP networks (the "testbed" substitute)."""
+
+from repro.sim.engine import SimResult, simulate
+from repro.sim.runner import ReplicatedResult, replicate
+from repro.sim.taps import FlowTap
+
+__all__ = ["SimResult", "simulate", "ReplicatedResult", "replicate", "FlowTap"]

@@ -1,0 +1,89 @@
+"""Replication management and confidence intervals for the simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.stats import confidence_interval
+from repro.network.model import ClosedNetwork
+from repro.sim.engine import SimResult, simulate
+from repro.utils.rng import as_rng
+
+__all__ = ["ReplicatedResult", "replicate"]
+
+
+@dataclass(frozen=True)
+class ReplicatedResult:
+    """Mean estimates with t-confidence intervals across replications."""
+
+    network: ClosedNetwork
+    n_replications: int
+    utilization_mean: np.ndarray
+    utilization_ci: np.ndarray  # (M, 2) lower/upper
+    throughput_mean: np.ndarray
+    throughput_ci: np.ndarray
+    queue_length_mean: np.ndarray
+    queue_length_ci: np.ndarray
+    results: "tuple[SimResult, ...]"
+
+    def response_time(self, reference: int = 0) -> float:
+        """Point estimate ``N / X_ref`` from the mean throughput."""
+        return self.network.population / float(self.throughput_mean[reference])
+
+    def response_time_ci(self, reference: int = 0) -> tuple[float, float]:
+        """CI for ``N / X_ref`` mapped through the throughput CI."""
+        lo_x, hi_x = self.throughput_ci[reference]
+        N = self.network.population
+        return N / hi_x, N / lo_x
+
+
+def replicate(
+    network: ClosedNetwork,
+    n_replications: int = 5,
+    horizon_events: int = 100_000,
+    warmup_events: int = 10_000,
+    rng=None,
+    confidence: float = 0.95,
+) -> ReplicatedResult:
+    """Run independent replications and aggregate with t-intervals."""
+    if n_replications < 2:
+        raise ValueError("need at least 2 replications for confidence intervals")
+    gen = as_rng(rng)
+    seeds = gen.integers(0, 2**63 - 1, size=n_replications)
+    results = tuple(
+        simulate(
+            network,
+            horizon_events=horizon_events,
+            warmup_events=warmup_events,
+            rng=int(s),
+        )
+        for s in seeds
+    )
+    M = network.n_stations
+
+    def agg(attr: str) -> tuple[np.ndarray, np.ndarray]:
+        data = np.stack([getattr(r, attr) for r in results])  # (reps, M)
+        means = np.empty(M)
+        cis = np.empty((M, 2))
+        for k in range(M):
+            m, lo, hi = confidence_interval(data[:, k], confidence)
+            means[k] = m
+            cis[k] = (lo, hi)
+        return means, cis
+
+    u_m, u_ci = agg("utilization")
+    x_m, x_ci = agg("throughput")
+    q_m, q_ci = agg("mean_queue_length")
+    return ReplicatedResult(
+        network=network,
+        n_replications=n_replications,
+        utilization_mean=u_m,
+        utilization_ci=u_ci,
+        throughput_mean=x_m,
+        throughput_ci=x_ci,
+        queue_length_mean=q_m,
+        queue_length_ci=q_ci,
+        results=results,
+    )

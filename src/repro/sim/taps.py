@@ -1,0 +1,60 @@
+"""Flow taps: event-time recorders at arrival/departure points.
+
+The paper's Figure 1 marks six observation points in the TPC-W system
+((1) client arrivals ... (6) DB departures) and plots the autocorrelation
+of each flow.  A :class:`FlowTap` records the event epochs of one such flow
+during simulation; inter-event times then feed
+:func:`repro.analysis.sample_acf`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["FlowTap"]
+
+
+class FlowTap:
+    """Records event times of one flow (station x direction).
+
+    Parameters
+    ----------
+    station:
+        Station index to observe.
+    direction:
+        ``"arrival"`` (jobs joining the station) or ``"departure"``
+        (service completions leaving it).
+    label:
+        Name used in experiment output (e.g., ``"(6) DB Departure"``).
+    """
+
+    def __init__(self, station: int, direction: str, label: str | None = None) -> None:
+        if direction not in ("arrival", "departure"):
+            raise ValueError(f"direction must be arrival/departure, got {direction!r}")
+        self.station = station
+        self.direction = direction
+        self.label = label or f"station{station}-{direction}"
+        self._times: list[float] = []
+
+    def record(self, t: float) -> None:
+        self._times.append(t)
+
+    def reset(self) -> None:
+        """Drop everything recorded so far (warmup boundary)."""
+        self._times.clear()
+
+    @property
+    def count(self) -> int:
+        return len(self._times)
+
+    def times(self) -> np.ndarray:
+        """Event epochs as an array."""
+        return np.asarray(self._times)
+
+    def intervals(self) -> np.ndarray:
+        """Inter-event times of the flow (the ACF input of Figure 1)."""
+        t = self.times()
+        return np.diff(t)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FlowTap({self.label!r}, events={self.count})"

@@ -1,0 +1,21 @@
+"""Shared utilities: errors, RNG handling, validation helpers, ASCII tables."""
+
+from repro.utils.errors import (
+    ReproError,
+    ValidationError,
+    FeasibilityError,
+    SolverError,
+    NotSupportedError,
+)
+from repro.utils.rng import as_rng
+from repro.utils.tables import format_table
+
+__all__ = [
+    "ReproError",
+    "ValidationError",
+    "FeasibilityError",
+    "SolverError",
+    "NotSupportedError",
+    "as_rng",
+    "format_table",
+]

@@ -1,0 +1,29 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised exceptions derive from :class:`ReproError` so downstream
+users can catch a single base class.
+"""
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by :mod:`repro`."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An input object (matrix, routing, network, ...) failed validation."""
+
+
+class FeasibilityError(ReproError, ValueError):
+    """A fitting/matching problem has no solution in the requested class.
+
+    Raised, e.g., when the requested (mean, SCV, gamma2) triple lies outside
+    the feasible region of order-2 MAPs.
+    """
+
+
+class SolverError(ReproError, RuntimeError):
+    """A numerical solver (linear system, LP, fixed point) failed."""
+
+
+class NotSupportedError(ReproError, NotImplementedError):
+    """The requested combination of features is not supported by this method."""

@@ -1,0 +1,56 @@
+"""Minimal ASCII table rendering for experiment harness output.
+
+The experiment drivers print rows in the same shape as the paper's tables and
+figure series; this module keeps that output aligned and dependency-free.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+
+def _fmt_cell(value: object, floatfmt: str) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return format(value, floatfmt)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    floatfmt: str = ".4f",
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned ASCII table.
+
+    Parameters
+    ----------
+    headers:
+        Column names.
+    rows:
+        Iterable of row sequences; floats are formatted with ``floatfmt``.
+    floatfmt:
+        ``format()`` spec applied to float cells.
+    title:
+        Optional title line printed above the table.
+    """
+    str_rows = [[_fmt_cell(c, floatfmt) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}: {row!r}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,22 @@
+"""Workload substrates: the TPC-W-style multi-tier case study."""
+
+from repro.workloads.bursty import BURSTINESS_LEVELS, bursty_service
+from repro.workloads.tpcw import (
+    CLIENT,
+    DB,
+    FRONT,
+    TpcwParameters,
+    tpcw_flow_taps,
+    tpcw_model,
+)
+
+__all__ = [
+    "BURSTINESS_LEVELS",
+    "bursty_service",
+    "TpcwParameters",
+    "tpcw_model",
+    "tpcw_flow_taps",
+    "CLIENT",
+    "FRONT",
+    "DB",
+]

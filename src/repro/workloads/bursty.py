@@ -1,0 +1,45 @@
+"""Bursty service-process presets.
+
+The paper traces the burstiness observed in the TPC-W testbed to the front
+server's service process ("an effect of caching/memory pressure").  These
+helpers map qualitative burstiness levels onto (SCV, gamma2) pairs of the
+correlated-H2 MAP(2) family, so workload models can say
+``bursty_service(mean, "high")`` instead of hand-picking matrices.
+"""
+
+from __future__ import annotations
+
+from repro.maps.fitting import fit_map2
+from repro.maps.map import MAP
+from repro.utils.errors import ValidationError
+
+__all__ = ["BURSTINESS_LEVELS", "bursty_service"]
+
+# (scv, gamma2): squared coefficient of variation and ACF geometric decay.
+BURSTINESS_LEVELS: dict[str, tuple[float, float]] = {
+    "none": (1.0, 0.0),      # exponential — the "no-ACF" baseline
+    "low": (4.0, 0.3),       # mildly variable, short memory
+    "medium": (9.0, 0.6),    # pronounced variability, visible ACF tail
+    "high": (16.0, 0.8),     # the paper's case-study regime (CV = 4)
+    "extreme": (25.0, 0.95), # long bursts, slowly-decaying ACF
+}
+
+
+def bursty_service(mean: float, level: str = "high") -> MAP:
+    """MAP(2) service process of the given mean and burstiness level.
+
+    Parameters
+    ----------
+    mean:
+        Mean service time.
+    level:
+        One of :data:`BURSTINESS_LEVELS` (``"none"`` returns an exponential).
+    """
+    try:
+        scv, gamma2 = BURSTINESS_LEVELS[level]
+    except KeyError:
+        raise ValidationError(
+            f"unknown burstiness level {level!r}; choose from "
+            f"{sorted(BURSTINESS_LEVELS)}"
+        ) from None
+    return fit_map2(mean, scv, gamma2)

@@ -1,0 +1,113 @@
+"""TPC-W-style closed multi-tier model (the paper's Figures 1-3).
+
+Substitution note (see DESIGN.md §3): the paper measured a physical TPC-W
+deployment (emulated browsers -> front/application server -> MySQL).  We
+rebuild the *model* of that system from the paper's Figure 2 — a closed
+three-station network:
+
+* ``clients``: infinite-server think-time station.  TPC-W prescribes
+  exponential think times, which the paper highlights because it means the
+  burstiness cannot come from the clients;
+* ``front``: FCFS queue with MAP(2) service — burstiness originates here
+  (caching/memory pressure, per the paper's analysis);
+* ``db``: FCFS queue with exponential service.
+
+Routing (Figure 2): clients -> front; front -> db w.p. ``p_db`` (a request
+fans into database work) and back to the clients w.p. ``1 - p_db``;
+db -> front (the front assembles the reply).  Visit ratios per client
+interaction: ``v_front = 1 / (1 - p_db)``, ``v_db = p_db / (1 - p_db)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.maps.builders import exponential
+from repro.network.model import ClosedNetwork
+from repro.network.stations import delay, queue
+from repro.sim.taps import FlowTap
+from repro.utils.errors import ValidationError
+from repro.workloads.bursty import bursty_service
+
+__all__ = ["TpcwParameters", "tpcw_model", "tpcw_flow_taps", "CLIENT", "FRONT", "DB"]
+
+CLIENT, FRONT, DB = 0, 1, 2
+
+
+@dataclass(frozen=True)
+class TpcwParameters:
+    """Parameters of the TPC-W-style model (defaults: browsing-mix-like).
+
+    The paper does not publish its testbed service rates; these defaults
+    are chosen so the 128-512 browser sweep of Figure 3 spans light load to
+    saturation with multi-second response times, and are recorded in
+    EXPERIMENTS.md.  ``burstiness`` selects the front-server service process
+    (``"none"`` gives the no-ACF variant of Figure 3's second row).
+    """
+
+    think_time: float = 7.0          # TPC-W mean think time (seconds)
+    front_mean: float = 0.018        # front service time per visit (s)
+    db_mean: float = 0.025           # DB service time per visit (s)
+    p_db: float = 0.5                # front -> db routing probability
+    burstiness: str = "extreme"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.p_db < 1.0:
+            raise ValidationError(f"p_db must be in [0, 1), got {self.p_db}")
+        for name in ("think_time", "front_mean", "db_mean"):
+            if getattr(self, name) <= 0:
+                raise ValidationError(f"{name} must be positive")
+
+    def with_burstiness(self, level: str) -> "TpcwParameters":
+        """Copy with a different front-server burstiness level."""
+        return TpcwParameters(
+            think_time=self.think_time,
+            front_mean=self.front_mean,
+            db_mean=self.db_mean,
+            p_db=self.p_db,
+            burstiness=level,
+        )
+
+
+def tpcw_model(browsers: int, params: TpcwParameters | None = None) -> ClosedNetwork:
+    """Closed TPC-W model of Figure 2 with ``browsers`` emulated browsers."""
+    p = params or TpcwParameters()
+    front_service = (
+        exponential(1.0 / p.front_mean)
+        if p.burstiness == "none"
+        else bursty_service(p.front_mean, p.burstiness)
+    )
+    routing = np.array(
+        [
+            [0.0, 1.0, 0.0],
+            [1.0 - p.p_db, 0.0, p.p_db],
+            [0.0, 1.0, 0.0],
+        ]
+    )
+    return ClosedNetwork(
+        [
+            delay("clients", exponential(1.0 / p.think_time)),
+            queue("front", front_service),
+            queue("db", exponential(1.0 / p.db_mean)),
+        ],
+        routing,
+        browsers,
+    )
+
+
+def tpcw_flow_taps() -> list[FlowTap]:
+    """The six observation points of the paper's Figure 1.
+
+    (1) client arrivals, (2) client departures, (3) front arrivals,
+    (4) front departures, (5) DB arrivals, (6) DB departures.
+    """
+    return [
+        FlowTap(CLIENT, "arrival", "(1) Client Arrival"),
+        FlowTap(CLIENT, "departure", "(2) Client Departure"),
+        FlowTap(FRONT, "arrival", "(3) Front Arrival"),
+        FlowTap(FRONT, "departure", "(4) Front Departure"),
+        FlowTap(DB, "arrival", "(5) DB Arrival"),
+        FlowTap(DB, "departure", "(6) DB Departure"),
+    ]

@@ -1,0 +1,119 @@
+"""Smoke + shape tests for the experiment drivers at tiny presets.
+
+The heavyweight shape assertions live in benchmarks/ (run with
+``--benchmark-only``); these tests make sure every driver runs end-to-end,
+produces well-formed tables, and honors its configuration.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import ablation, fig1, fig3, fig4, fig8, scaling, table1
+from repro.experiments.common import ExperimentResult
+
+
+class TestCommonResult:
+    def test_table_rendering(self):
+        r = ExperimentResult(
+            title="t", headers=["a", "b"], rows=[[1, 2.0]], metadata={}
+        )
+        text = r.table()
+        assert "t" in text and "a" in text
+
+    def test_column_extraction(self):
+        r = ExperimentResult(
+            title="t", headers=["a", "b"], rows=[[1, 2.0], [3, 4.0]], metadata={}
+        )
+        assert r.column("b") == [2.0, 4.0]
+
+    def test_to_dict_round_trip(self):
+        r = ExperimentResult(title="t", headers=["a"], rows=[[1]], metadata={"k": 1})
+        d = r.to_dict()
+        assert d["metadata"]["k"] == 1
+
+
+class TestFig1:
+    def test_runs_and_labels_flows(self):
+        cfg = fig1.Fig1Config(
+            browsers=64, max_lag=20, horizon_events=20_000, warmup_events=2_000
+        )
+        r = fig1.run(cfg)
+        assert len(r.rows) == 6
+        assert len(r.metadata["acfs"]) == 6
+        for acf in r.metadata["acfs"].values():
+            assert acf[0] == pytest.approx(1.0)
+
+
+class TestFig3:
+    def test_runs_without_lp(self):
+        cfg = fig3.Fig3Config(
+            browsers=(16, 32),
+            horizon_events=15_000,
+            warmup_events=1_500,
+            lp_bounds=False,
+        )
+        r = fig3.run(cfg)
+        assert r.column("browsers") == [16, 32]
+        assert np.all(np.isfinite(r.column("R.meas")))
+        assert np.all(np.isnan(r.column("R.acf")))
+
+    def test_runs_with_lp(self):
+        cfg = fig3.Fig3Config(
+            browsers=(16,), horizon_events=15_000, warmup_events=1_500, lp_bounds=True
+        )
+        r = fig3.run(cfg)
+        assert np.isfinite(r.rows[0][2])
+
+
+class TestFig4:
+    def test_decomposition_errors_reported(self):
+        r = fig4.run(fig4.Fig4Config(populations=(1, 5, 20)))
+        err = np.array(r.column("decomp.relerr"))
+        assert np.all(err >= 0)
+        assert np.all(np.array(r.column("U1.exact")) <= 1.0)
+
+
+class TestFig8:
+    def test_bounds_bracket_exact(self):
+        r = fig8.run(fig8.Fig8Config(populations=(4, 8)))
+        for row in r.rows:
+            _, u_ex, u_lo, u_hi, r_ex, r_lo, r_hi = row
+            assert u_lo - 1e-7 <= u_ex <= u_hi + 1e-7
+            assert r_lo - 1e-7 <= r_ex <= r_hi + 1e-7
+
+    def test_exact_skippable(self):
+        r = fig8.run(fig8.Fig8Config(populations=(4,), exact=False))
+        assert np.isnan(r.rows[0][1])
+
+    def test_fig5_network_demands(self):
+        net = fig8.fig5_network(10)
+        assert net.service_demands == pytest.approx([0.5, 0.5, 0.6])
+        assert net.bottleneck == 2
+
+
+class TestTable1:
+    def test_statistics_shape(self):
+        cfg = table1.Table1Config(n_models=2, populations=(2, 4), seed=5)
+        r = table1.run(cfg)
+        assert [row[0] for row in r.rows] == ["Rmax", "Rmin"]
+        for row in r.rows:
+            mean, std, median, mx = row[2:]
+            assert 0 <= mean <= mx
+            assert median <= mx
+
+    def test_deterministic_given_seed(self):
+        cfg = table1.Table1Config(n_models=2, populations=(2, 4), seed=5)
+        assert table1.run(cfg).rows == table1.run(cfg).rows
+
+
+class TestScalingAndAblation:
+    def test_scaling_counts(self):
+        r = scaling.run(scaling.ScalingConfig(points=((3, 5), (3, 10))))
+        lp_vars = r.column("lp_vars")
+        assert lp_vars[1] > lp_vars[0]
+
+    def test_ablation_tiers_ordered(self):
+        r = ablation.run(ablation.AblationConfig(populations=(4,)))
+        row = r.rows[0]
+        pairs_err, triples_err = row[2], row[4]
+        assert triples_err <= pairs_err + 1e-9

@@ -1,0 +1,83 @@
+"""Tests for the IDC/IDI burstiness indices."""
+
+import numpy as np
+import pytest
+
+from repro.maps import exponential, erlang, fit_map2, mmpp2
+from repro.maps.counting import count_dispersion, count_moments, interval_dispersion
+from repro.maps.trace import sample_intervals
+
+
+class TestIntervalDispersion:
+    def test_renewal_idi_is_scv(self):
+        m = erlang(3, 3.0)
+        idi = interval_dispersion(m, 6)
+        assert np.allclose(idi, m.scv, atol=1e-10)
+
+    def test_poisson_idi_is_one(self):
+        idi = interval_dispersion(exponential(2.0), 5)
+        assert np.allclose(idi, 1.0, atol=1e-12)
+
+    def test_positive_correlation_grows_idi(self):
+        m = fit_map2(1.0, 9.0, 0.6)
+        idi = interval_dispersion(m, np.array([1, 5, 20, 80]))
+        assert idi[0] == pytest.approx(m.scv, rel=1e-9)
+        assert np.all(np.diff(idi) > 0)
+
+    def test_idi_asymptote_formula(self):
+        """IDI(inf) = scv * (1 + 2 rho1 / (1 - gamma2)) for geometric ACF."""
+        m = fit_map2(1.0, 9.0, 0.5)
+        rho1 = m.autocorrelation(1)[0]
+        expected = m.scv + 2 * m.scv * rho1 / (1 - 0.5)
+        idi = interval_dispersion(m, np.array([4000]))
+        assert idi[0] == pytest.approx(expected, rel=0.01)
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            interval_dispersion(exponential(1.0), np.array([0]))
+
+
+class TestCountMoments:
+    def test_mean_is_rate_times_t(self):
+        m = mmpp2(0.2, 0.4, 2.0, 0.5)
+        ts = np.array([0.5, 2.0, 10.0])
+        means, _ = count_moments(m, ts)
+        assert np.allclose(means, m.rate * ts, rtol=1e-6)
+
+    def test_poisson_idc_is_one(self):
+        idc = count_dispersion(exponential(3.0), np.array([0.1, 1.0, 10.0]))
+        assert np.allclose(idc, 1.0, atol=1e-6)
+
+    def test_erlang_idc_below_one(self):
+        idc = count_dispersion(erlang(4, 4.0), np.array([50.0]))
+        assert idc[0] < 1.0
+
+    def test_bursty_idc_above_one_and_growing(self):
+        m = fit_map2(1.0, 9.0, 0.6)
+        idc = count_dispersion(m, np.array([1.0, 10.0, 100.0]))
+        assert idc[-1] > idc[0] > 1.0
+
+    def test_idc_matches_monte_carlo(self):
+        m = mmpp2(0.5, 0.5, 3.0, 0.5)
+        t_probe = 4.0
+        means, variances = count_moments(m, np.array([t_probe]))
+        # Monte-Carlo: count events in windows of length t_probe.
+        rng = np.random.default_rng(5)
+        counts = []
+        for _ in range(60):
+            iv = sample_intervals(m, 6000, rng=rng)
+            times = np.cumsum(iv)
+            windows = int(times[-1] // t_probe)
+            edges = np.arange(1, windows) * t_probe
+            counts.extend(np.diff(np.searchsorted(times, edges)))
+        counts = np.asarray(counts, dtype=float)
+        assert counts.mean() == pytest.approx(means[0], rel=0.05)
+        assert counts.var() == pytest.approx(variances[0], rel=0.15)
+
+    def test_zero_time(self):
+        means, variances = count_moments(exponential(1.0), np.array([0.0]))
+        assert means[0] == 0.0 and variances[0] == 0.0
+
+    def test_rejects_negative_time(self):
+        with pytest.raises(ValueError):
+            count_moments(exponential(1.0), np.array([-1.0]))

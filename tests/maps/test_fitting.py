@@ -1,0 +1,189 @@
+"""Tests for MAP fitting: moment matches, gamma2 targets, feasibility errors."""
+
+import numpy as np
+import pytest
+
+from repro.maps import (
+    feasible_gamma2_range,
+    fit_hyperexp_3m,
+    fit_hyperexp_balanced,
+    fit_hyperexp_unbalanced,
+    fit_map2,
+    fit_map2_3m,
+    fit_renewal,
+    h2_correlated,
+    hyperexponential,
+)
+from repro.utils.errors import FeasibilityError, ValidationError
+
+
+class TestHyperexpBalanced:
+    def test_matches_mean_and_scv(self):
+        p1, nu1, nu2 = fit_hyperexp_balanced(2.0, 9.0)
+        m = hyperexponential([p1, 1 - p1], [nu1, nu2])
+        assert m.mean == pytest.approx(2.0)
+        assert m.scv == pytest.approx(9.0)
+
+    def test_balanced_means_property(self):
+        p1, nu1, nu2 = fit_hyperexp_balanced(1.0, 4.0)
+        assert p1 / nu1 == pytest.approx((1 - p1) / nu2)
+
+    def test_rejects_scv_below_one(self):
+        with pytest.raises(FeasibilityError):
+            fit_hyperexp_balanced(1.0, 0.8)
+
+    def test_rejects_nonpositive_mean(self):
+        with pytest.raises(ValidationError):
+            fit_hyperexp_balanced(-1.0, 4.0)
+
+    def test_scv_one_boundary(self):
+        p1, nu1, nu2 = fit_hyperexp_balanced(1.0, 1.0)
+        m = hyperexponential([p1, 1 - p1], [nu1, nu2])
+        assert m.scv == pytest.approx(1.0, abs=1e-6)
+
+
+class TestHyperexpUnbalanced:
+    @pytest.mark.parametrize("p_slow", [0.05, 0.1, 0.2])
+    def test_matches_targets(self, p_slow):
+        p1, nu1, nu2 = fit_hyperexp_unbalanced(1.5, 6.0, p_slow)
+        m = hyperexponential([p1, 1 - p1], [nu1, nu2])
+        assert m.mean == pytest.approx(1.5)
+        assert m.scv == pytest.approx(6.0)
+
+    def test_slow_phase_is_slower(self):
+        p1, nu1, nu2 = fit_hyperexp_unbalanced(1.0, 4.0, 0.2)
+        assert 1.0 / nu1 > 1.0 / nu2
+
+    def test_skewness_varies_with_p_slow(self):
+        maps = []
+        for p_slow in (0.05, 0.3):
+            p1, nu1, nu2 = fit_hyperexp_unbalanced(1.0, 4.0, p_slow)
+            maps.append(hyperexponential([p1, 1 - p1], [nu1, nu2]))
+        assert maps[0].skewness != pytest.approx(maps[1].skewness, rel=1e-3)
+
+    def test_rejects_infeasible_p_slow(self):
+        with pytest.raises(FeasibilityError):
+            fit_hyperexp_unbalanced(1.0, 9.0, 0.5)  # needs p_slow < 0.2
+
+
+class TestHyperexp3M:
+    def test_round_trip(self):
+        src = hyperexponential([0.15, 0.85], [0.25, 3.0])
+        m1, m2, m3 = src.moments(3)
+        p1, nu1, nu2 = fit_hyperexp_3m(m1, m2, m3)
+        fitted = hyperexponential([p1, 1 - p1], [nu1, nu2])
+        assert np.allclose(fitted.moments(3), [m1, m2, m3], rtol=1e-8)
+
+    def test_rejects_exponential_boundary(self):
+        with pytest.raises(FeasibilityError):
+            fit_hyperexp_3m(1.0, 2.0, 6.0)  # exactly exponential moments
+
+    def test_rejects_infeasible_third_moment(self):
+        with pytest.raises(FeasibilityError):
+            fit_hyperexp_3m(1.0, 5.0, 10.0)  # m3 far below the H2 region
+
+
+class TestFitRenewal:
+    @pytest.mark.parametrize("scv", [0.1, 0.25, 0.5, 0.75, 1.0, 2.0, 16.0])
+    def test_matches_mean_scv(self, scv):
+        m = fit_renewal(0.8, scv)
+        assert m.mean == pytest.approx(0.8, rel=1e-8)
+        assert m.scv == pytest.approx(scv, rel=1e-6)
+
+    def test_is_renewal(self):
+        assert fit_renewal(1.0, 0.4).is_renewal
+        assert fit_renewal(1.0, 5.0).is_renewal
+
+    def test_exponential_shortcut(self):
+        assert fit_renewal(2.0, 1.0).order == 1
+
+    def test_low_scv_uses_erlang_mixture(self):
+        m = fit_renewal(1.0, 0.3)
+        assert m.order == 4  # ceil(1/0.3)
+
+    def test_rejects_nonpositive_scv(self):
+        with pytest.raises(FeasibilityError):
+            fit_renewal(1.0, 0.0)
+
+
+class TestFitMap2:
+    def test_case_study_parameters(self):
+        """The Figure 8 case study: CV = 4 (scv = 16), gamma2 = 0.5."""
+        m = fit_map2(mean=1.0, scv=16.0, gamma2=0.5)
+        assert m.mean == pytest.approx(1.0)
+        assert m.cv == pytest.approx(4.0)
+        assert m.gamma2 == pytest.approx(0.5)
+
+    def test_acf_exactly_geometric_for_h2_branch(self):
+        m = fit_map2(2.0, 8.0, 0.6)
+        rho = m.autocorrelation(6)
+        ratios = rho[1:] / rho[:-1]
+        assert np.allclose(ratios, 0.6, rtol=1e-9)
+
+    def test_negative_gamma2(self):
+        m = fit_map2(1.0, 4.0, -0.1)
+        assert m.gamma2 == pytest.approx(-0.1)
+        assert m.autocorrelation(1)[0] < 0
+
+    def test_zero_gamma2_is_renewal(self):
+        m = fit_map2(1.0, 4.0, 0.0)
+        assert m.is_renewal
+
+    def test_exponential_shortcut(self):
+        assert fit_map2(0.5, 1.0, 0.0).order == 1
+
+    @pytest.mark.parametrize("scv,g2", [(0.9, 0.3), (0.7, 0.0), (0.8, -0.05)])
+    def test_low_scv_branch(self, scv, g2):
+        m = fit_map2(1.0, scv, g2)
+        assert m.mean == pytest.approx(1.0, rel=1e-4)
+        assert m.scv == pytest.approx(scv, rel=1e-3)
+        assert m.gamma2 == pytest.approx(g2, abs=1e-3)
+
+    def test_rejects_gamma2_above_one(self):
+        with pytest.raises(FeasibilityError):
+            fit_map2(1.0, 4.0, 1.0)
+
+    def test_rejects_scv_below_half(self):
+        with pytest.raises(FeasibilityError):
+            fit_map2(1.0, 0.3, 0.0)
+
+    def test_rejects_unreachable_low_scv_correlation(self):
+        with pytest.raises(FeasibilityError):
+            fit_map2(1.0, 0.55, 0.5)
+
+
+class TestFitMap23M:
+    def test_matches_three_moments_and_gamma2(self):
+        m = fit_map2_3m(1.0, 5.0, 60.0, 0.3)
+        mom = m.moments(3)
+        assert mom == pytest.approx([1.0, 5.0, 60.0], rel=1e-6)
+        assert m.gamma2 == pytest.approx(0.3)
+
+    def test_round_trip_random(self):
+        from repro.maps import random_map2
+
+        src = random_map2(rng=7)
+        mom = src.moments(3)
+        fitted = fit_map2_3m(*mom, gamma2=src.gamma2)
+        assert np.allclose(fitted.moments(3), mom, rtol=1e-6)
+        assert fitted.gamma2 == pytest.approx(src.gamma2)
+
+    def test_rejects_gamma2_outside_family(self):
+        with pytest.raises(FeasibilityError):
+            fit_map2_3m(1.0, 5.0, 60.0, -0.99)
+
+
+class TestFeasibleGamma2Range:
+    def test_symmetric_weight(self):
+        lo, hi = feasible_gamma2_range(0.5)
+        assert lo == pytest.approx(-1.0)
+        assert hi == 1.0
+
+    def test_skewed_weight_shrinks_negative_side(self):
+        lo, _ = feasible_gamma2_range(0.9)
+        assert lo == pytest.approx(-1.0 / 9.0)
+
+    def test_builder_respects_range(self):
+        lo, _ = feasible_gamma2_range(0.9)
+        with pytest.raises(ValidationError):
+            h2_correlated(0.9, 1.0, 2.0, lo - 0.05)

@@ -1,0 +1,105 @@
+"""Tests for the MAP algebra: rescale, superpose, thin, mixture."""
+
+import numpy as np
+import pytest
+
+from repro.maps import (
+    MAP,
+    erlang,
+    exponential,
+    h2_correlated,
+    mixture,
+    mmpp2,
+    rescale,
+    superpose,
+    thin,
+)
+from repro.utils.errors import ValidationError
+
+
+class TestRescale:
+    def test_rate_scales(self):
+        m = mmpp2(0.1, 0.2, 2.0, 0.5)
+        assert rescale(m, 3.0).rate == pytest.approx(3.0 * m.rate)
+
+    def test_shape_invariants_preserved(self):
+        m = h2_correlated(0.7, 2.0, 0.3, 0.4)
+        r = rescale(m, 0.25)
+        assert r.scv == pytest.approx(m.scv)
+        assert r.skewness == pytest.approx(m.skewness)
+        assert np.allclose(r.autocorrelation(5), m.autocorrelation(5))
+
+    def test_rejects_nonpositive_factor(self):
+        with pytest.raises(ValidationError):
+            rescale(exponential(1.0), 0.0)
+
+
+class TestSuperpose:
+    def test_rates_add(self):
+        a = mmpp2(0.1, 0.3, 1.0, 3.0)
+        b = exponential(2.0)
+        assert superpose(a, b).rate == pytest.approx(a.rate + b.rate)
+
+    def test_order_multiplies(self):
+        a, b = erlang(2, 1.0), erlang(3, 1.0)
+        assert superpose(a, b).order == 6
+
+    def test_two_poissons_merge_to_poisson(self):
+        s = superpose(exponential(1.5), exponential(2.5))
+        assert s.rate == pytest.approx(4.0)
+        assert s.scv == pytest.approx(1.0)
+        assert np.allclose(s.autocorrelation(3), 0.0, atol=1e-10)
+
+    def test_commutative_in_rate(self):
+        a = mmpp2(0.2, 0.4, 1.0, 5.0)
+        b = erlang(2, 3.0)
+        assert superpose(a, b).rate == pytest.approx(superpose(b, a).rate)
+
+
+class TestThin:
+    def test_rate_scales_by_keep(self):
+        m = mmpp2(0.1, 0.2, 2.0, 0.5)
+        assert thin(m, 0.3).rate == pytest.approx(0.3 * m.rate)
+
+    def test_keep_one_is_identity(self):
+        m = mmpp2(0.1, 0.2, 2.0, 0.5)
+        t = thin(m, 1.0)
+        assert np.allclose(t.D0, m.D0) and np.allclose(t.D1, m.D1)
+
+    def test_thinned_poisson_is_poisson(self):
+        t = thin(exponential(4.0), 0.25)
+        assert t.rate == pytest.approx(1.0)
+        assert t.scv == pytest.approx(1.0)
+
+    def test_rejects_zero_keep(self):
+        with pytest.raises(ValidationError):
+            thin(exponential(1.0), 0.0)
+
+
+class TestMixture:
+    def test_identity_switch_keeps_components_separate(self):
+        # Degenerate switch = identity would be reducible; use near-identity.
+        comps = [exponential(1.0), exponential(5.0)]
+        sw = np.array([[0.9, 0.1], [0.1, 0.9]])
+        m = mixture(comps, sw)
+        assert isinstance(m, MAP)
+        assert m.order == 2
+        # Long-run rate lies between the component rates.
+        assert 1.0 < m.rate < 5.0
+
+    def test_uniform_switch_rate(self):
+        comps = [exponential(2.0), exponential(2.0)]
+        sw = np.full((2, 2), 0.5)
+        m = mixture(comps, sw)
+        assert m.rate == pytest.approx(2.0)
+
+    def test_mixture_creates_correlation(self):
+        # Slow switching between fast and slow regimes => positive ACF.
+        comps = [exponential(10.0), exponential(0.5)]
+        sw = np.array([[0.95, 0.05], [0.05, 0.95]])
+        m = mixture(comps, sw)
+        assert m.autocorrelation(1)[0] > 0.05
+
+    def test_rejects_bad_switch(self):
+        with pytest.raises(ValidationError):
+            mixture([exponential(1.0), exponential(2.0)], np.array([[0.5, 0.6], [0.5, 0.5]]))

@@ -1,0 +1,96 @@
+"""Tests for phase-type distributions."""
+
+import numpy as np
+import pytest
+
+from repro.maps import PhaseType, erlang, exponential
+from repro.utils.errors import ValidationError
+
+
+@pytest.fixture()
+def ph2():
+    return PhaseType([0.4, 0.6], [[-2.0, 1.0], [0.0, -3.0]])
+
+
+class TestValidation:
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ValidationError):
+            PhaseType([0.5, 0.6], [[-1.0, 0.0], [0.0, -1.0]])
+
+    def test_rejects_nonsquare(self):
+        with pytest.raises(ValidationError):
+            PhaseType([1.0], [[-1.0, 0.5]])
+
+    def test_rejects_negative_offdiagonal(self):
+        with pytest.raises(ValidationError):
+            PhaseType([1.0, 0.0], [[-1.0, -0.5], [0.0, -1.0]])
+
+    def test_rejects_nonabsorbing(self):
+        with pytest.raises(ValidationError):
+            PhaseType([0.5, 0.5], [[-1.0, 1.0], [1.0, -1.0]])
+
+    def test_arrays_read_only(self, ph2):
+        with pytest.raises(ValueError):
+            ph2.alpha[0] = 0.9
+
+
+class TestMoments:
+    def test_exponential_case(self):
+        ph = PhaseType([1.0], [[-3.0]])
+        assert ph.mean == pytest.approx(1.0 / 3.0)
+        assert ph.scv == pytest.approx(1.0)
+
+    def test_erlang_case(self):
+        ph = PhaseType([1.0, 0.0], [[-2.0, 2.0], [0.0, -2.0]])
+        assert ph.mean == pytest.approx(1.0)
+        assert ph.scv == pytest.approx(0.5)
+
+    def test_moment_ordering(self, ph2):
+        m1, m2, m3 = ph2.moments(3)
+        assert m2 >= m1 * m1
+        assert m3 >= m1 * m2
+
+
+class TestDistributionFunctions:
+    def test_cdf_limits(self, ph2):
+        assert ph2.cdf(0.0) == pytest.approx(0.0)
+        assert ph2.cdf(100.0) == pytest.approx(1.0, abs=1e-9)
+
+    def test_cdf_monotone(self, ph2):
+        xs = np.linspace(0.0, 5.0, 30)
+        cdf = ph2.cdf(xs)
+        assert np.all(np.diff(cdf) >= -1e-12)
+
+    def test_pdf_integrates_to_one(self, ph2):
+        from scipy.integrate import quad
+
+        total, _ = quad(lambda x: float(ph2.pdf(x)), 0.0, 60.0)
+        assert total == pytest.approx(1.0, abs=1e-6)
+
+    def test_pdf_nonnegative(self, ph2):
+        xs = np.linspace(0.0, 5.0, 20)
+        assert np.all(ph2.pdf(xs) >= 0.0)
+
+    def test_pdf_zero_for_negative(self, ph2):
+        assert ph2.pdf(-1.0) == 0.0
+
+
+class TestSamplingAndConversion:
+    def test_sample_mean(self, ph2):
+        samples = ph2.sample(20_000, rng=1)
+        assert samples.mean() == pytest.approx(ph2.mean, rel=0.05)
+        assert np.all(samples > 0)
+
+    def test_sample_reproducible(self, ph2):
+        assert np.array_equal(ph2.sample(50, rng=9), ph2.sample(50, rng=9))
+
+    def test_as_renewal_map_matches_moments(self, ph2):
+        m = ph2.as_renewal_map()
+        assert m.is_renewal
+        assert m.mean == pytest.approx(ph2.mean, rel=1e-9)
+        assert m.scv == pytest.approx(ph2.scv, rel=1e-9)
+
+    def test_round_trip_with_builders(self):
+        er = erlang(3, 2.0)
+        ph = PhaseType([1.0, 0.0, 0.0], er.D0)
+        assert ph.mean == pytest.approx(er.mean, rel=1e-9)

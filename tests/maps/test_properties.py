@@ -1,0 +1,128 @@
+"""Property-based tests (hypothesis) for MAP invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.maps import (
+    MAP,
+    RandomMap2Config,
+    erlang,
+    exponential,
+    fit_map2,
+    fit_renewal,
+    h2_correlated,
+    random_map2,
+    rescale,
+    superpose,
+    thin,
+)
+
+# Strategy: correlated-H2 parameters over their full feasible box.
+h2_params = st.tuples(
+    st.floats(0.05, 0.95),   # p1
+    st.floats(0.1, 10.0),    # nu1
+    st.floats(0.1, 10.0),    # nu2
+    st.floats(0.0, 0.95),    # omega (positive side is always feasible)
+)
+
+
+@st.composite
+def maps_strategy(draw):
+    kind = draw(st.sampled_from(["exp", "erlang", "h2c", "random2"]))
+    if kind == "exp":
+        return exponential(draw(st.floats(0.1, 10.0)))
+    if kind == "erlang":
+        return erlang(draw(st.integers(1, 5)), draw(st.floats(0.1, 10.0)))
+    if kind == "h2c":
+        p1, nu1, nu2, w = draw(h2_params)
+        return h2_correlated(p1, nu1, nu2, w)
+    seed = draw(st.integers(0, 2**31))
+    return random_map2(rng=seed)
+
+
+@given(maps_strategy())
+@settings(max_examples=60, deadline=None)
+def test_embedded_chain_is_stochastic(m: MAP):
+    P = m.embedded
+    assert np.all(P >= -1e-10)
+    assert np.allclose(P.sum(axis=1), 1.0, atol=1e-9)
+
+
+@given(maps_strategy())
+@settings(max_examples=60, deadline=None)
+def test_stationary_distributions_are_probabilities(m: MAP):
+    for dist in (m.phase_stationary, m.embedded_stationary):
+        assert np.all(dist >= -1e-12)
+        assert abs(dist.sum() - 1.0) < 1e-9
+
+
+@given(maps_strategy())
+@settings(max_examples=60, deadline=None)
+def test_mean_inverse_rate_identity(m: MAP):
+    assert abs(m.mean * m.rate - 1.0) < 1e-8
+
+
+@given(maps_strategy())
+@settings(max_examples=60, deadline=None)
+def test_moment_ordering(m: MAP):
+    m1, m2, m3 = m.moments(3)
+    # Jensen: E[X^2] >= E[X]^2 and E[X^3] >= E[X]E[X^2] for positive rvs.
+    assert m2 >= m1 * m1 * (1 - 1e-10)
+    assert m3 >= m1 * m2 * (1 - 1e-10)
+
+
+@given(maps_strategy())
+@settings(max_examples=40, deadline=None)
+def test_autocorrelation_bounded(m: MAP):
+    rho = m.autocorrelation(8)
+    assert np.all(np.abs(rho) <= 1.0 + 1e-9)
+
+
+@given(maps_strategy(), st.floats(0.1, 10.0))
+@settings(max_examples=40, deadline=None)
+def test_rescale_group_action(m: MAP, c: float):
+    r = rescale(m, c)
+    assert abs(r.rate - c * m.rate) < 1e-8 * max(1.0, c * m.rate)
+    assert abs(r.scv - m.scv) < 1e-7 * max(1.0, m.scv)
+
+
+@given(maps_strategy(), maps_strategy())
+@settings(max_examples=25, deadline=None)
+def test_superposition_rate_additivity(a: MAP, b: MAP):
+    s = superpose(a, b)
+    assert abs(s.rate - (a.rate + b.rate)) < 1e-7 * (a.rate + b.rate)
+
+
+@given(maps_strategy(), st.floats(0.05, 1.0))
+@settings(max_examples=40, deadline=None)
+def test_thinning_rate(m: MAP, q: float):
+    assert abs(thin(m, q).rate - q * m.rate) < 1e-8 * max(1.0, q * m.rate)
+
+
+@given(st.floats(0.2, 5.0), st.floats(1.05, 20.0), st.floats(0.0, 0.9))
+@settings(max_examples=60, deadline=None)
+def test_fit_map2_achieves_targets(mean, scv, g2):
+    m = fit_map2(mean, scv, g2)
+    assert abs(m.mean - mean) < 1e-6 * mean
+    assert abs(m.scv - scv) < 1e-5 * scv
+    assert abs(m.gamma2 - g2) < 1e-6
+
+
+@given(st.floats(0.2, 5.0), st.floats(0.05, 30.0))
+@settings(max_examples=60, deadline=None)
+def test_fit_renewal_achieves_targets(mean, scv):
+    m = fit_renewal(mean, scv)
+    assert abs(m.mean - mean) < 1e-6 * mean
+    assert abs(m.scv - scv) < 1e-4 * scv
+    assert m.is_renewal
+
+
+@given(st.integers(0, 2**31))
+@settings(max_examples=30, deadline=None)
+def test_random_map2_in_configured_ranges(seed):
+    cfg = RandomMap2Config()
+    m = random_map2(rng=seed, config=cfg)
+    assert cfg.mean_range[0] * 0.99 <= m.mean <= cfg.mean_range[1] * 1.01
+    assert cfg.scv_range[0] * 0.99 <= m.scv <= cfg.scv_range[1] * 1.01
+    assert cfg.gamma2_range[0] - 1e-6 <= m.gamma2 <= cfg.gamma2_range[1] + 1e-6

@@ -1,0 +1,122 @@
+"""Tests for CTMC/DTMC steady-state solvers and uniformization."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.markov import steady_state_ctmc, steady_state_dtmc, transient_distribution
+from repro.utils.errors import SolverError, ValidationError
+
+
+def birth_death_generator(n: int, lam: float, mu: float) -> np.ndarray:
+    """M/M/1/n queue generator with known geometric stationary law."""
+    Q = np.zeros((n + 1, n + 1))
+    for i in range(n):
+        Q[i, i + 1] = lam
+        Q[i + 1, i] = mu
+    np.fill_diagonal(Q, -Q.sum(axis=1))
+    return Q
+
+
+class TestCTMCSteadyState:
+    def test_two_state_chain(self):
+        Q = np.array([[-1.0, 1.0], [2.0, -2.0]])
+        pi = steady_state_ctmc(Q)
+        assert pi == pytest.approx([2.0 / 3.0, 1.0 / 3.0])
+
+    @pytest.mark.parametrize("rho", [0.3, 0.9, 1.5])
+    def test_birth_death_geometric(self, rho):
+        n, mu = 20, 1.0
+        Q = birth_death_generator(n, rho * mu, mu)
+        pi = steady_state_ctmc(Q)
+        expected = rho ** np.arange(n + 1)
+        expected /= expected.sum()
+        assert np.allclose(pi, expected, atol=1e-10)
+
+    def test_sparse_input(self):
+        Q = sp.csr_matrix(birth_death_generator(50, 0.7, 1.0))
+        pi = steady_state_ctmc(Q)
+        assert pi.sum() == pytest.approx(1.0)
+        assert np.abs(pi @ Q.toarray()).max() < 1e-8
+
+    def test_gmres_agrees_with_direct(self):
+        Q = birth_death_generator(200, 0.95, 1.0)
+        direct = steady_state_ctmc(Q, method="direct")
+        gmres = steady_state_ctmc(sp.csr_matrix(Q), method="gmres", tol=1e-12)
+        assert np.allclose(direct, gmres, atol=1e-7)
+
+    def test_single_state(self):
+        assert steady_state_ctmc(np.zeros((1, 1))) == pytest.approx([1.0])
+
+    def test_rejects_bad_rowsums(self):
+        with pytest.raises(ValueError):
+            steady_state_ctmc(np.array([[-1.0, 0.5], [1.0, -1.0]]))
+
+    def test_rejects_nonsquare(self):
+        with pytest.raises(ValueError):
+            steady_state_ctmc(np.zeros((2, 3)))
+
+    def test_rejects_unknown_method(self):
+        with pytest.raises(ValueError):
+            steady_state_ctmc(np.array([[-1.0, 1.0], [1.0, -1.0]]), method="magic")
+
+
+class TestDTMCSteadyState:
+    def test_two_state(self):
+        P = np.array([[0.9, 0.1], [0.3, 0.7]])
+        pi = steady_state_dtmc(P)
+        assert pi == pytest.approx([0.75, 0.25])
+
+    def test_doubly_stochastic_is_uniform(self):
+        P = np.array([[0.5, 0.25, 0.25], [0.25, 0.5, 0.25], [0.25, 0.25, 0.5]])
+        assert steady_state_dtmc(P) == pytest.approx([1 / 3] * 3)
+
+    def test_single_state(self):
+        assert steady_state_dtmc(np.ones((1, 1))) == pytest.approx([1.0])
+
+    def test_rejects_non_stochastic(self):
+        with pytest.raises(ValidationError):
+            steady_state_dtmc(np.array([[0.5, 0.4], [0.3, 0.7]]))
+
+    def test_reducible_raises(self):
+        P = np.eye(2)
+        with pytest.raises(SolverError):
+            steady_state_dtmc(P)
+
+
+class TestUniformization:
+    def test_converges_to_steady_state(self):
+        Q = birth_death_generator(10, 0.6, 1.0)
+        pi_inf = steady_state_ctmc(Q)
+        pi0 = np.zeros(11)
+        pi0[0] = 1.0
+        pi_t = transient_distribution(Q, pi0, t=200.0)
+        assert np.allclose(pi_t, pi_inf, atol=1e-6)
+
+    def test_time_zero_identity(self):
+        Q = birth_death_generator(5, 1.0, 1.0)
+        pi0 = np.zeros(6)
+        pi0[2] = 1.0
+        assert np.array_equal(transient_distribution(Q, pi0, 0.0), pi0)
+
+    def test_matches_expm(self):
+        import scipy.linalg
+
+        Q = birth_death_generator(8, 0.8, 1.2)
+        pi0 = np.full(9, 1.0 / 9.0)
+        t = 2.5
+        expected = pi0 @ scipy.linalg.expm(Q * t)
+        got = transient_distribution(Q, pi0, t)
+        assert np.allclose(got, expected, atol=1e-9)
+
+    def test_mass_conserved(self):
+        Q = birth_death_generator(15, 1.3, 1.0)
+        pi0 = np.zeros(16)
+        pi0[7] = 1.0
+        pi_t = transient_distribution(Q, pi0, 5.0)
+        assert pi_t.sum() == pytest.approx(1.0, abs=1e-9)
+
+    def test_rejects_negative_time(self):
+        Q = birth_death_generator(3, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            transient_distribution(Q, np.array([1.0, 0, 0, 0]), -1.0)

@@ -1,0 +1,89 @@
+"""Tests for the composition state space: counts, ordering, rank/unrank."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.special import comb
+
+from repro.markov import CompositionSpace
+
+
+class TestEnumeration:
+    @pytest.mark.parametrize(
+        "total,parts", [(0, 1), (0, 3), (1, 1), (2, 3), (5, 2), (5, 4), (10, 3)]
+    )
+    def test_size_matches_binomial(self, total, parts):
+        space = CompositionSpace(total, parts)
+        assert space.size == comb(total + parts - 1, parts - 1, exact=True)
+        assert len(space.states) == space.size
+
+    def test_rows_sum_to_total(self):
+        space = CompositionSpace(7, 4)
+        assert np.all(space.states.sum(axis=1) == 7)
+
+    def test_rows_nonnegative(self):
+        space = CompositionSpace(6, 3)
+        assert np.all(space.states >= 0)
+
+    def test_rows_unique(self):
+        space = CompositionSpace(6, 3)
+        assert len({tuple(r) for r in space.states}) == space.size
+
+    def test_lexicographic_order(self):
+        space = CompositionSpace(4, 3)
+        rows = [tuple(r) for r in space.states]
+        assert rows == sorted(rows)
+
+    def test_single_part(self):
+        space = CompositionSpace(9, 1)
+        assert space.size == 1
+        assert space.states[0, 0] == 9
+
+    def test_figure6_state_count(self):
+        """Paper Figure 6: three queues, N=2 -> 6 compositions x 2 phases = 12."""
+        space = CompositionSpace(2, 3)
+        assert space.size == 6
+
+    def test_rejects_negative_total(self):
+        with pytest.raises(ValueError):
+            CompositionSpace(-1, 2)
+
+    def test_rejects_zero_parts(self):
+        with pytest.raises(ValueError):
+            CompositionSpace(3, 0)
+
+
+class TestRanking:
+    @pytest.mark.parametrize("total,parts", [(2, 3), (5, 2), (6, 4), (12, 3)])
+    def test_rank_is_inverse_of_enumeration(self, total, parts):
+        space = CompositionSpace(total, parts)
+        ranks = space.rank(space.states)
+        assert np.array_equal(ranks, np.arange(space.size))
+
+    def test_rank_single_row(self):
+        space = CompositionSpace(5, 3)
+        for r in (0, 3, space.size - 1):
+            assert space.rank(space.states[r]) == r
+
+    def test_unrank_round_trip(self):
+        space = CompositionSpace(6, 3)
+        for r in range(space.size):
+            assert space.rank(space.unrank(r)) == r
+
+    def test_unrank_out_of_range(self):
+        space = CompositionSpace(3, 2)
+        with pytest.raises(IndexError):
+            space.unrank(space.size)
+
+    @given(st.integers(0, 25), st.integers(1, 5))
+    @settings(max_examples=40, deadline=None)
+    def test_rank_bijection_property(self, total, parts):
+        space = CompositionSpace(total, parts)
+        ranks = space.rank(space.states)
+        assert np.array_equal(np.sort(ranks), np.arange(space.size))
+
+    def test_large_space_ranks_vectorized(self):
+        space = CompositionSpace(100, 3)
+        idx = np.array([0, 17, 1000, space.size - 1])
+        assert np.array_equal(space.rank(space.states[idx]), idx)

@@ -1,0 +1,63 @@
+"""Smoke tests keeping the example scripts runnable.
+
+The fast examples are executed end-to-end; the long-running ones
+(capacity-planning sweep, trace fitting at full trace length) are
+compile+import checked so a broken API surface still fails CI quickly.
+"""
+
+import importlib.util
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def _load(name: str):
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize(
+    "name",
+    [
+        "quickstart",
+        "tpcw_capacity_planning",
+        "bursty_bottleneck",
+        "flow_autocorrelation",
+        "custom_map_fitting",
+        "trace_driven_fitting",
+        "resource_allocation",
+    ],
+)
+def test_example_imports_and_has_main(name):
+    module = _load(name)
+    assert callable(module.main)
+
+
+def test_quickstart_runs_end_to_end(capsys):
+    module = _load("quickstart")
+    module.main()
+    out = capsys.readouterr().out
+    assert "response time" in out
+    assert "bottleneck" in out
+
+
+def test_custom_map_fitting_runs_end_to_end(capsys):
+    module = _load("custom_map_fitting")
+    module.main()
+    out = capsys.readouterr().out
+    assert "geometric decay check" in out
+
+
+def test_examples_are_executable_scripts():
+    """Every example advertises a __main__ entry (documented run command)."""
+    for path in sorted(EXAMPLES.glob("*.py")):
+        text = path.read_text()
+        assert '__name__ == "__main__"' in text, path.name
+        assert text.startswith("#!/usr/bin/env python"), path.name
+        assert '"""' in text, path.name

@@ -1,0 +1,80 @@
+"""Tests for the shared utilities (rng plumbing, tables, errors)."""
+
+import numpy as np
+import pytest
+
+from repro.utils import (
+    FeasibilityError,
+    NotSupportedError,
+    ReproError,
+    SolverError,
+    ValidationError,
+    as_rng,
+    format_table,
+)
+from repro.utils.rng import spawn
+
+
+class TestAsRng:
+    def test_none_gives_generator(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+    def test_int_seed_reproducible(self):
+        assert as_rng(42).random() == as_rng(42).random()
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(1)
+        assert as_rng(gen) is gen
+
+    def test_numpy_integer_seed(self):
+        assert isinstance(as_rng(np.int64(7)), np.random.Generator)
+
+    def test_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            as_rng("seed")
+
+    def test_spawn_independent_streams(self):
+        children = spawn(as_rng(3), 4)
+        assert len(children) == 4
+        draws = [c.random() for c in children]
+        assert len(set(draws)) == 4
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [30, 0.125]])
+        lines = out.splitlines()
+        assert len(lines) == 4  # header, separator, 2 rows
+        assert "bb" in lines[0]
+        assert "0.1250" in lines[3]
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_floatfmt(self):
+        out = format_table(["x"], [[0.123456]], floatfmt=".2f")
+        assert "0.12" in out
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_column_alignment(self):
+        out = format_table(["col"], [[1], [100]])
+        rows = out.splitlines()[2:]
+        assert len(rows[0]) == len(rows[1])
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exc", [ValidationError, FeasibilityError, SolverError, NotSupportedError]
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_validation_is_value_error(self):
+        assert issubclass(ValidationError, ValueError)
+
+    def test_not_supported_is_not_implemented(self):
+        assert issubclass(NotSupportedError, NotImplementedError)

@@ -1,0 +1,86 @@
+"""Tests for the TPC-W workload substrate."""
+
+import numpy as np
+import pytest
+
+from repro.utils.errors import ValidationError
+from repro.workloads import (
+    BURSTINESS_LEVELS,
+    CLIENT,
+    DB,
+    FRONT,
+    TpcwParameters,
+    bursty_service,
+    tpcw_flow_taps,
+    tpcw_model,
+)
+
+
+class TestBurstyService:
+    @pytest.mark.parametrize("level", sorted(BURSTINESS_LEVELS))
+    def test_levels_fit_targets(self, level):
+        m = bursty_service(0.5, level)
+        scv, g2 = BURSTINESS_LEVELS[level]
+        assert m.mean == pytest.approx(0.5, rel=1e-6)
+        assert m.scv == pytest.approx(scv, rel=1e-5)
+        assert m.gamma2 == pytest.approx(g2, abs=1e-6)
+
+    def test_none_is_exponential(self):
+        assert bursty_service(1.0, "none").order == 1
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValidationError):
+            bursty_service(1.0, "ludicrous")
+
+
+class TestTpcwModel:
+    def test_structure(self):
+        net = tpcw_model(128)
+        assert net.population == 128
+        assert net.stations[CLIENT].kind == "delay"
+        assert net.stations[FRONT].kind == "queue"
+        assert net.stations[FRONT].phases == 2
+        assert net.stations[DB].kind == "queue"
+
+    def test_visit_ratios_from_pdb(self):
+        p = TpcwParameters(p_db=0.5)
+        net = tpcw_model(10, p)
+        v = net.visit_ratios
+        # v_front = 1 / (1 - p_db), v_db = p_db / (1 - p_db).
+        assert v[FRONT] == pytest.approx(2.0)
+        assert v[DB] == pytest.approx(1.0)
+
+    def test_no_acf_variant_is_product_form(self):
+        p = TpcwParameters().with_burstiness("none")
+        assert tpcw_model(10, p).is_product_form
+
+    def test_burstiness_levels_share_means(self):
+        p1 = TpcwParameters()
+        p2 = p1.with_burstiness("none")
+        n1 = tpcw_model(10, p1)
+        n2 = tpcw_model(10, p2)
+        assert np.allclose(n1.service_demands, n2.service_demands, rtol=1e-9)
+
+    def test_rejects_bad_pdb(self):
+        with pytest.raises(ValidationError):
+            TpcwParameters(p_db=1.0)
+
+    def test_rejects_nonpositive_times(self):
+        with pytest.raises(ValidationError):
+            TpcwParameters(think_time=0.0)
+
+
+class TestFlowTaps:
+    def test_six_taps_matching_figure1(self):
+        taps = tpcw_flow_taps()
+        assert len(taps) == 6
+        assert [t.station for t in taps] == [CLIENT, CLIENT, FRONT, FRONT, DB, DB]
+        assert [t.direction for t in taps] == [
+            "arrival",
+            "departure",
+            "arrival",
+            "departure",
+            "arrival",
+            "departure",
+        ]
+        assert taps[5].label == "(6) DB Departure"

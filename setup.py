@@ -1,0 +1,10 @@
+"""Legacy setuptools shim.
+
+All metadata lives in ``pyproject.toml``; this file exists so
+``pip install -e . --no-use-pep517`` works on minimal environments that
+lack the ``wheel`` package (PEP 660 editable builds require it).
+"""
+
+from setuptools import setup
+
+setup()

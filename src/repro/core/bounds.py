@@ -15,15 +15,7 @@ from dataclasses import dataclass
 
 from repro.core.constraints import ConstraintSystem, build_constraints
 from repro.core.lp import optimize_metric
-from repro.core.objectives import (
-    LinearMetric,
-    queue_length_metric,
-    queue_length_moment_metric,
-    system_throughput_metric,
-    throughput_metric,
-    utilization_metric,
-)
-from repro.core.variables import VariableIndex
+from repro.core.objectives import LinearMetric, system_throughput_metric
 from repro.network.model import ClosedNetwork
 
 __all__ = ["Interval", "BoundsResult", "bound_metric", "solve_bounds", "response_time_bounds"]
@@ -139,28 +131,11 @@ def solve_bounds(
         Constraint tier selector (None = auto); see
         :func:`repro.core.constraints.build_constraints`.
     """
-    vi = VariableIndex(network, triples=triples)
-    system = build_constraints(network, vi, include_redundant=include_redundant)
-    util = [
-        bound_metric(network, utilization_metric(network, vi, k), system)
-        for k in range(network.n_stations)
-    ]
-    thr = [
-        bound_metric(network, throughput_metric(network, vi, k), system)
-        for k in range(network.n_stations)
-    ]
-    qlen = [
-        bound_metric(network, queue_length_metric(network, vi, k), system)
-        for k in range(network.n_stations)
-    ]
-    x_sys = bound_metric(network, system_throughput_metric(network, vi, reference), system)
-    N = network.population
-    resp = Interval(lower=N / x_sys.upper, upper=N / x_sys.lower)
-    return BoundsResult(
-        network=network,
-        utilization=util,
-        throughput=thr,
-        queue_length=qlen,
-        system_throughput=x_sys,
-        response_time=resp,
+    # Deferred import: runtime.batch depends on this module for the result
+    # types, so the delegation can only be resolved at call time.
+    from repro.runtime.batch import BatchLPSolver
+
+    solver = BatchLPSolver(
+        network, triples=triples, include_redundant=include_redundant
     )
+    return solver.standard_bounds(reference=reference)

@@ -18,7 +18,7 @@ from repro.core.constraints import ConstraintSystem
 from repro.core.objectives import LinearMetric
 from repro.utils.errors import SolverError
 
-__all__ = ["LPSolution", "optimize_metric"]
+__all__ = ["LPSolution", "optimize_metric", "solve_lp_core"]
 
 
 @dataclass(frozen=True)
@@ -35,6 +35,50 @@ class LPSolution:
 #: Above this variable count, interior point beats HiGHS's dual simplex on
 #: these highly degenerate balance polytopes by an order of magnitude.
 _IPM_THRESHOLD = 20_000
+
+
+def solve_lp_core(
+    c: np.ndarray,
+    system: ConstraintSystem,
+    method: str,
+    bounds: np.ndarray | None = None,
+):
+    """One robust ``linprog`` call: min of ``c @ x`` over ``system``.
+
+    HiGHS occasionally reports spurious infeasibility on the ill-conditioned
+    instances this polytope produces (high-SCV MAP(2) moments put 4+ orders
+    of magnitude between coefficients).  The exact constraints are feasible
+    by construction, so on failure we walk a retry ladder — the alternate
+    HiGHS algorithm, then simplex with presolve disabled — before giving up.
+
+    ``bounds`` is the ``(n, 2)`` stacked variable-bound array; passing it in
+    lets batched callers build it once per system instead of per solve.
+    """
+    if bounds is None:
+        bounds = np.column_stack([system.lb, system.ub])
+
+    def _solve(meth: str, options=None):
+        return linprog(
+            c,
+            A_eq=system.A_eq if system.n_equalities else None,
+            b_eq=system.b_eq if system.n_equalities else None,
+            A_ub=system.A_ub if system.n_inequalities else None,
+            b_ub=system.b_ub if system.n_inequalities else None,
+            bounds=bounds,
+            method=meth,
+            options=options,
+        )
+
+    res = _solve(method)
+    res.method_used = method
+    if not res.success:
+        alternate = "highs" if method == "highs-ipm" else "highs-ipm"
+        for meth, options in ((alternate, None), ("highs", {"presolve": False})):
+            res = _solve(meth, options)
+            res.method_used = meth
+            if res.success:
+                break
+    return res
 
 
 def optimize_metric(
@@ -68,30 +112,12 @@ def optimize_metric(
     """
     if sense not in ("min", "max"):
         raise ValueError(f"sense must be 'min' or 'max', got {sense!r}")
-    auto = method == "auto"
-    if auto:
+    if method == "auto":
         method = "highs" if system.n_variables <= _IPM_THRESHOLD else "highs-ipm"
     c = metric.dense(system.n_variables)
     sign = 1.0 if sense == "min" else -1.0
 
-    def _solve(meth: str):
-        return linprog(
-            sign * c,
-            A_eq=system.A_eq if system.n_equalities else None,
-            b_eq=system.b_eq if system.n_equalities else None,
-            A_ub=system.A_ub if system.n_inequalities else None,
-            b_ub=system.b_ub if system.n_inequalities else None,
-            bounds=np.column_stack([system.lb, system.ub]),
-            method=meth,
-        )
-
-    res = _solve(method)
-    if not res.success and auto and method == "highs-ipm":
-        # Interior point occasionally reports solver errors on instances
-        # with wide-ranging coefficients (delay-station moments); dual
-        # simplex is slower but robust.
-        res = _solve("highs")
-        method = "highs"
+    res = solve_lp_core(sign * c, system, method)
     if not res.success:
         raise SolverError(
             f"LP {sense} of {metric.name} failed: {res.message} (status {res.status})"

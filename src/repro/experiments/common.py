@@ -16,7 +16,28 @@ from typing import Any
 
 from repro.utils.tables import format_table
 
-__all__ = ["ExperimentResult", "format_table"]
+__all__ = ["ExperimentResult", "cache_stats_delta", "format_table"]
+
+
+def cache_stats_delta(before: dict, after: dict) -> dict:
+    """Per-experiment cache counters from two cumulative registry snapshots.
+
+    The default registry is process-wide, so its raw counters accumulate
+    across every experiment run in the same process; drivers report the
+    difference over their own run instead.
+    """
+    if not before and not after:
+        return {}
+    counters = (
+        "memory_hits", "disk_hits", "misses", "puts",
+        "memory_evictions", "disk_evictions",
+    )
+    delta = {k: after.get(k, 0) - before.get(k, 0) for k in counters}
+    lookups = delta["memory_hits"] + delta["disk_hits"] + delta["misses"]
+    delta["hit_rate"] = (
+        (delta["memory_hits"] + delta["disk_hits"]) / lookups if lookups else 0.0
+    )
+    return delta
 
 
 @dataclass

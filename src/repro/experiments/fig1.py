@@ -18,7 +18,7 @@ import numpy as np
 
 from repro.analysis.acf import sample_acf
 from repro.experiments.common import ExperimentResult
-from repro.sim.engine import simulate
+from repro.runtime import get_registry
 from repro.workloads.tpcw import TpcwParameters, tpcw_flow_taps, tpcw_model
 
 __all__ = ["Fig1Config", "run", "main"]
@@ -50,8 +50,12 @@ def run(config: Fig1Config | None = None) -> ExperimentResult:
     cfg = config or Fig1Config.small()
     net = tpcw_model(cfg.browsers, cfg.params)
     taps = tpcw_flow_taps()
-    simulate(
+    # Routed through the registry for uniformity; the live taps make the
+    # call non-fingerprintable, so it transparently bypasses the cache
+    # (a cached replay could not re-record flow epochs).
+    get_registry().solve(
         net,
+        "sim",
         horizon_events=cfg.horizon_events,
         warmup_events=cfg.warmup_events,
         rng=cfg.seed,

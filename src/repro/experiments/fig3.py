@@ -23,13 +23,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.baselines.mva import mva
-from repro.core.bounds import bound_metric
-from repro.core.constraints import build_constraints
-from repro.core.objectives import system_throughput_metric, utilization_metric
-from repro.core.variables import VariableIndex
-from repro.experiments.common import ExperimentResult
-from repro.sim.engine import simulate
+from repro.experiments.common import ExperimentResult, cache_stats_delta
+from repro.runtime import get_registry
 from repro.workloads.tpcw import CLIENT, DB, FRONT, TpcwParameters, tpcw_model
 
 __all__ = ["Fig3Config", "run", "main"]
@@ -60,33 +55,45 @@ def run(config: Fig3Config | None = None) -> ExperimentResult:
     """Sweep the browser counts and compare the three methodologies."""
     cfg = config or Fig3Config.small()
     Z = cfg.params.think_time
+    registry = get_registry()
+    stats0 = registry.cache_stats()
     rows = []
     for N in cfg.browsers:
         net = tpcw_model(N, cfg.params)
-        sim = simulate(
+        sim = registry.solve(
             net,
+            "sim",
             horizon_events=cfg.horizon_events,
             warmup_events=cfg.warmup_events,
             rng=cfg.seed + N,
+            reference=CLIENT,
         )
-        R_meas = N / sim.throughput[CLIENT] - Z
+        R_meas = N / sim.throughput_point(CLIENT) - Z
 
-        no_acf = mva(tpcw_model(N, cfg.params.with_burstiness("none")))
-        R_noacf = N / no_acf.system_throughput - Z
+        no_acf = registry.solve(
+            tpcw_model(N, cfg.params.with_burstiness("none")),
+            "mva",
+            reference=CLIENT,
+        )
+        R_noacf = N / no_acf.system_throughput_point() - Z
 
         if cfg.lp_bounds:
-            vi = VariableIndex(net)
-            system = build_constraints(net, vi)
-            x = bound_metric(net, system_throughput_metric(net, vi, CLIENT), system)
+            acf = registry.solve(
+                net,
+                "lp",
+                metrics=(
+                    f"utilization[{FRONT}]",
+                    f"utilization[{DB}]",
+                    "system_throughput",
+                ),
+                reference=CLIENT,
+            )
+            x = acf.system_throughput
             R_lo = N / x.upper - Z
             R_hi = N / x.lower - Z
             R_acf = 0.5 * (R_lo + R_hi)
-            uf_acf = bound_metric(
-                net, utilization_metric(net, vi, FRONT), system
-            ).midpoint
-            udb_acf = bound_metric(
-                net, utilization_metric(net, vi, DB), system
-            ).midpoint
+            uf_acf = acf.utilization_point(FRONT)
+            udb_acf = acf.utilization_point(DB)
         else:
             R_lo = R_hi = R_acf = np.nan
             uf_acf = udb_acf = np.nan
@@ -97,12 +104,12 @@ def run(config: Fig3Config | None = None) -> ExperimentResult:
                 float(R_meas),
                 float(R_acf),
                 float(R_noacf),
-                float(sim.utilization[FRONT]),
+                float(sim.utilization_point(FRONT)),
                 float(uf_acf),
-                float(no_acf.utilization[FRONT]),
-                float(sim.utilization[DB]),
+                float(no_acf.utilization_point(FRONT)),
+                float(sim.utilization_point(DB)),
                 float(udb_acf),
-                float(no_acf.utilization[DB]),
+                float(no_acf.utilization_point(DB)),
             ]
         )
     return ExperimentResult(
@@ -121,7 +128,11 @@ def run(config: Fig3Config | None = None) -> ExperimentResult:
             "Udb.noacf",
         ],
         rows=rows,
-        metadata={"think_time": Z, "params": str(cfg.params)},
+        metadata={
+            "think_time": Z,
+            "params": str(cfg.params),
+            "cache": cache_stats_delta(stats0, registry.cache_stats()),
+        },
     )
 
 

@@ -6,6 +6,10 @@ decomposition-aggregation approximation and the ABA bounds, as the job
 population grows to 500.  Decomposition "shows unacceptable inaccuracies as
 soon as the number of processed requests N increases beyond a few tens";
 ABA is useless in the mid-load range.
+
+All three analyses dispatch through the :mod:`repro.runtime` registry, so
+the exact/decomposition/ABA triple per population is cached and the
+population sweep can fan across workers.
 """
 
 from __future__ import annotations
@@ -14,14 +18,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.baselines.aba import aba_bounds
-from repro.baselines.decomposition import decomposition
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, cache_stats_delta
 from repro.maps.builders import exponential
 from repro.maps.fitting import fit_map2
 from repro.network.model import ClosedNetwork
-from repro.network.exact import solve_exact
 from repro.network.stations import queue
+from repro.runtime import SweepRunner, get_registry
 
 __all__ = ["Fig4Config", "tandem_network", "run", "main"]
 
@@ -35,6 +37,7 @@ class Fig4Config:
     gamma2: float = 0.5
     service_mean_1: float = 1.0   # queue 1: bursty MAP(2)
     service_mean_2: float = 0.95  # queue 2: exponential
+    workers: int = 1              # sweep parallelism (1 = serial)
 
     @classmethod
     def small(cls) -> "Fig4Config":
@@ -42,7 +45,7 @@ class Fig4Config:
 
     @classmethod
     def paper(cls) -> "Fig4Config":
-        return cls()
+        return cls(workers=0)
 
 
 def tandem_network(N: int, cfg: Fig4Config) -> ClosedNetwork:
@@ -61,24 +64,29 @@ def tandem_network(N: int, cfg: Fig4Config) -> ClosedNetwork:
 def run(config: Fig4Config | None = None) -> ExperimentResult:
     """Sweep N and tabulate exact vs decomposition vs ABA for U(queue 1)."""
     cfg = config or Fig4Config.small()
+    stats0 = get_registry().cache_stats()
+    runner = SweepRunner(registry=get_registry())
+    workers = cfg.workers if cfg.workers >= 1 else None
+    base = tandem_network(cfg.populations[0], cfg)
+    by_method = {
+        method: runner.population_sweep(
+            base, cfg.populations, method=method, workers=workers
+        )
+        for method in ("exact", "decomposition", "aba")
+    }
     rows = []
-    for N in cfg.populations:
-        net = tandem_network(N, cfg)
-        sol = solve_exact(net)
-        u_exact = sol.utilization(0)
-        d = decomposition(net)
-        u_decomp = float(d.utilization[0])
-        a = aba_bounds(net)
-        d1 = net.service_demands[0]
-        u_aba_lo, u_aba_hi = a.utilization_bounds(d1)
+    for i, N in enumerate(cfg.populations):
+        u_exact = by_method["exact"][i].utilization_point(0)
+        u_decomp = by_method["decomposition"][i].utilization_point(0)
+        u_aba = by_method["aba"][i].utilization_interval(0)
         rows.append(
             [
                 N,
                 float(u_exact),
-                u_decomp,
+                float(u_decomp),
                 float(abs(u_decomp - u_exact) / u_exact),
-                float(u_aba_lo),
-                float(u_aba_hi),
+                float(u_aba.lower),
+                float(u_aba.upper),
             ]
         )
     return ExperimentResult(
@@ -90,6 +98,10 @@ def run(config: Fig4Config | None = None) -> ExperimentResult:
             "scv": cfg.scv,
             "gamma2": cfg.gamma2,
             "service_means": (cfg.service_mean_1, cfg.service_mean_2),
+            "points_from_cache": sum(
+                1 for series in by_method.values() for r in series if r.from_cache
+            ),
+            "cache": cache_stats_delta(stats0, get_registry().cache_stats()),
         },
     )
 

@@ -11,6 +11,10 @@ bottleneck (its Figure 8a is titled "Bottleneck Queue 3 Utilization"),
 recorded in EXPERIMENTS.md: ``E[S1] = 0.5, E[S2] = 5/7, E[S3] = 6`` giving
 demands ``(0.5, 0.5, 0.6)`` — near-balanced with queue 3 dominant, matching
 the "Balanced Routing" label.
+
+Solves route through :mod:`repro.runtime`: the population sweep fans across
+a :class:`~repro.runtime.sweep.SweepRunner` and repeated invocations are
+served from the result cache.
 """
 
 from __future__ import annotations
@@ -19,16 +23,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.bounds import Interval, bound_metric
-from repro.core.constraints import build_constraints
-from repro.core.objectives import system_throughput_metric, utilization_metric
-from repro.core.variables import VariableIndex
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, cache_stats_delta
 from repro.maps.builders import exponential
 from repro.maps.fitting import fit_map2
-from repro.network.exact import solve_exact
 from repro.network.model import ClosedNetwork
 from repro.network.stations import queue
+from repro.runtime import SweepRunner, get_registry
 
 __all__ = ["Fig8Config", "fig5_network", "run", "main"]
 
@@ -49,6 +49,7 @@ class Fig8Config:
     service_mean_2: float = 5.0 / 7.0
     service_mean_3: float = 6.0
     exact: bool = True     # also compute the exact CTMC curve
+    workers: int = 1       # sweep parallelism (1 = serial)
 
     @classmethod
     def small(cls) -> "Fig8Config":
@@ -56,7 +57,7 @@ class Fig8Config:
 
     @classmethod
     def paper(cls) -> "Fig8Config":
-        return cls()
+        return cls(workers=0)  # 0 -> one worker per point, capped at cpus
 
 
 def fig5_network(N: int, cfg: Fig8Config | None = None) -> ClosedNetwork:
@@ -76,20 +77,30 @@ def fig5_network(N: int, cfg: Fig8Config | None = None) -> ClosedNetwork:
 def run(config: Fig8Config | None = None) -> ExperimentResult:
     """Sweep N: exact U3/R vs LP lower/upper bounds (Figure 8a/8b)."""
     cfg = config or Fig8Config.small()
+    stats0 = get_registry().cache_stats()
+    runner = SweepRunner(registry=get_registry())
+    workers = cfg.workers if cfg.workers >= 1 else None
+    base = fig5_network(cfg.populations[0], cfg)
+    lp = runner.population_sweep(
+        base,
+        cfg.populations,
+        method="lp",
+        workers=workers,
+        metrics=("utilization[2]", "system_throughput", "response_time"),
+    )
+    if cfg.exact:
+        exact = runner.population_sweep(
+            base, cfg.populations, method="exact", workers=workers
+        )
+    else:
+        exact = [None] * len(cfg.populations)
+
     rows = []
-    for N in cfg.populations:
-        net = fig5_network(N, cfg)
-        vi = VariableIndex(net)
-        system = build_constraints(net, vi)
-        u3 = bound_metric(net, utilization_metric(net, vi, 2), system)
-        x = bound_metric(net, system_throughput_metric(net, vi, 0), system)
-        r = Interval(lower=N / x.upper, upper=N / x.lower)
-        if cfg.exact:
-            sol = solve_exact(net)
-            u3_exact = float(sol.utilization(2))
-            r_exact = float(sol.response_time(0))
-        else:
-            u3_exact = r_exact = float("nan")
+    for N, res, ex in zip(cfg.populations, lp, exact):
+        u3 = res.utilization_interval(2)
+        r = res.response_time
+        u3_exact = ex.utilization_point(2) if ex is not None else float("nan")
+        r_exact = ex.response_time_point() if ex is not None else float("nan")
         rows.append(
             [
                 N,
@@ -113,6 +124,10 @@ def run(config: Fig8Config | None = None) -> ExperimentResult:
                 cfg.service_mean_3,
             ),
             "demands": [0.5, 0.5, 0.6],
+            # per-point flags are valid on the parallel path too, where the
+            # parent registry performs no solves and its stats stay zero
+            "points_from_cache": sum(1 for r in lp if r.from_cache),
+            "cache": cache_stats_delta(stats0, get_registry().cache_stats()),
         },
     )
 

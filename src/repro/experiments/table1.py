@@ -18,12 +18,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.bounds import response_time_bounds
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, cache_stats_delta
 from repro.maps.random import RandomMap2Config, random_exponential, random_map2
-from repro.network.exact import solve_exact
 from repro.network.model import ClosedNetwork
 from repro.network.stations import queue
+from repro.runtime import get_registry
 from repro.utils.rng import as_rng
 
 __all__ = ["Table1Config", "random_model", "run", "main"]
@@ -70,6 +69,8 @@ def run(config: Table1Config | None = None) -> ExperimentResult:
     """Run the random-model study and aggregate maximal relative errors."""
     cfg = config or Table1Config.small()
     gen = as_rng(cfg.seed)
+    registry = get_registry()
+    stats0 = registry.cache_stats()
     max_err_upper = np.empty(cfg.n_models)  # Rmax vs exact
     max_err_lower = np.empty(cfg.n_models)  # Rmin vs exact
     for m in range(cfg.n_models):
@@ -78,8 +79,10 @@ def run(config: Table1Config | None = None) -> ExperimentResult:
         e_lo = 0.0
         for N in cfg.populations:
             net = base.with_population(N)
-            exact_r = solve_exact(net).response_time(0)
-            iv = response_time_bounds(net, reference=0)
+            exact_r = registry.solve(net, "exact").response_time_point()
+            iv = registry.solve(
+                net, "lp", metrics=("response_time",), reference=0
+            ).response_time
             e_up = max(e_up, abs(iv.upper - exact_r) / exact_r)
             e_lo = max(e_lo, abs(iv.lower - exact_r) / exact_r)
         max_err_upper[m] = e_up
@@ -102,6 +105,7 @@ def run(config: Table1Config | None = None) -> ExperimentResult:
             "populations": list(cfg.populations),
             "per_model_errors_upper": max_err_upper.tolist(),
             "per_model_errors_lower": max_err_lower.tolist(),
+            "cache": cache_stats_delta(stats0, registry.cache_stats()),
         },
     )
 

@@ -1,0 +1,79 @@
+"""repro.runtime — solver registry, result cache, and parallel sweeps.
+
+The runtime layer makes ``solve(model, method)`` a first-class operation:
+
+* :class:`~repro.runtime.registry.SolverRegistry` — one facade over every
+  analysis (LP bounds, exact CTMC, simulation, QBD, MVA/ABA/BJB/
+  decomposition), returning a uniform
+  :class:`~repro.runtime.registry.SolveResult`;
+* :mod:`~repro.runtime.fingerprint` — content-addressed hashing of model +
+  solver options (the cache key);
+* :class:`~repro.runtime.cache.ResultCache` — two-tier memory/disk cache
+  with hit/miss stats and bounded eviction;
+* :class:`~repro.runtime.sweep.SweepRunner` — deterministic parallel
+  parameter sweeps over process pools;
+* :class:`~repro.runtime.batch.BatchLPSolver` — one constraint assembly
+  shared by all metric min/max pairs of a model.
+
+Quickstart::
+
+    from repro import runtime
+    res = runtime.solve(network, method="lp")        # cached LP bounds
+    res.utilization_interval(0), res.system_throughput
+    exact = runtime.solve(network, method="exact")   # same facade
+
+The module-level :func:`solve` uses a process-wide default registry whose
+disk cache lives at ``.repro-cache/`` (override with ``REPRO_CACHE_DIR``
+or :func:`configure`).
+"""
+
+from __future__ import annotations
+
+from repro.runtime.batch import BatchLPSolver
+from repro.runtime.cache import CacheStats, ResultCache, default_cache_dir
+from repro.runtime.fingerprint import (
+    FingerprintError,
+    fingerprint_network,
+    fingerprint_solve,
+)
+from repro.runtime.registry import SolveResult, SolverRegistry
+from repro.runtime.sweep import SweepRunner, derive_seed
+
+__all__ = [
+    "BatchLPSolver",
+    "CacheStats",
+    "FingerprintError",
+    "ResultCache",
+    "SolveResult",
+    "SolverRegistry",
+    "SweepRunner",
+    "configure",
+    "default_cache_dir",
+    "derive_seed",
+    "fingerprint_network",
+    "fingerprint_solve",
+    "get_registry",
+    "solve",
+]
+
+_default_registry: SolverRegistry | None = None
+
+
+def get_registry() -> SolverRegistry:
+    """The process-wide default registry (created lazily)."""
+    global _default_registry
+    if _default_registry is None:
+        _default_registry = SolverRegistry(cache=ResultCache())
+    return _default_registry
+
+
+def configure(cache: ResultCache | None) -> SolverRegistry:
+    """Replace the default registry's cache (``None`` disables caching)."""
+    global _default_registry
+    _default_registry = SolverRegistry(cache=cache)
+    return _default_registry
+
+
+def solve(network, method: str = "lp", **opts) -> SolveResult:
+    """``get_registry().solve(...)`` — the one-line facade."""
+    return get_registry().solve(network, method, **opts)

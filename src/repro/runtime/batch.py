@@ -1,0 +1,190 @@
+"""Batched LP bound solving: assemble the constraint system once, reuse it.
+
+:func:`repro.core.lp.optimize_metric` is a one-shot API — every call pays
+for the dense objective vector, the stacked variable-bound array, and method
+selection.  :class:`BatchLPSolver` amortizes everything that does not depend
+on the objective across all min/max pairs of a model: the variable index,
+the assembled sparse constraint matrices, the ``(n, 2)`` bound array, and
+the HiGHS method choice.  A min/max *pair* additionally shares one dense
+coefficient vector (sign-flipped), so a full standard-metric sweep performs
+exactly one constraint assembly and ``2 * n_metrics`` solver calls with no
+redundant re-densification.
+
+Metric requests use compact string specs::
+
+    "utilization[2]"       bound U of station 2
+    "throughput"           bound X of every station
+    "queue_length[0]"      bound E[n_0]
+    "system_throughput"    bound the reference-station throughput
+    "response_time"        derived from system throughput via Little's law
+    "standard"             everything above, every station
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.bounds import BoundsResult, Interval
+from repro.core.constraints import build_constraints
+from repro.core.lp import _IPM_THRESHOLD, solve_lp_core
+from repro.core.objectives import (
+    LinearMetric,
+    queue_length_metric,
+    system_throughput_metric,
+    throughput_metric,
+    utilization_metric,
+)
+from repro.core.variables import VariableIndex
+from repro.network.model import ClosedNetwork
+from repro.utils.errors import SolverError
+
+__all__ = ["BatchLPSolver", "expand_metric_specs"]
+
+_STATION_METRICS = ("utilization", "throughput", "queue_length")
+_SCALAR_METRICS = ("system_throughput", "response_time")
+
+
+def expand_metric_specs(specs, n_stations: int) -> list[str]:
+    """Normalize metric specs to canonical per-station form, order-stable.
+
+    ``"standard"`` (or the default) expands to the full metric set;
+    bare station-metric names expand to one spec per station; duplicates
+    collapse to the first occurrence.
+    """
+    if isinstance(specs, str):
+        specs = (specs,)
+    out: list[str] = []
+
+    def _add(spec: str) -> None:
+        if spec not in out:
+            out.append(spec)
+
+    for spec in specs:
+        if spec == "standard":
+            for name in _STATION_METRICS:
+                for k in range(n_stations):
+                    _add(f"{name}[{k}]")
+            _add("system_throughput")
+            _add("response_time")
+        elif spec in _STATION_METRICS:
+            for k in range(n_stations):
+                _add(f"{spec}[{k}]")
+        elif spec in _SCALAR_METRICS:
+            _add(spec)
+        else:
+            name, _, rest = spec.partition("[")
+            if name not in _STATION_METRICS or not rest.endswith("]"):
+                raise ValueError(f"unknown metric spec {spec!r}")
+            k = int(rest[:-1])
+            if not 0 <= k < n_stations:
+                raise ValueError(
+                    f"metric spec {spec!r}: station index out of range "
+                    f"(network has {n_stations} stations)"
+                )
+            _add(spec)
+    if "response_time" in out:
+        _add("system_throughput")  # Little's law needs the X interval
+    return out
+
+
+class BatchLPSolver:
+    """One model, one constraint assembly, many metric bounds."""
+
+    def __init__(
+        self,
+        network: ClosedNetwork,
+        triples: bool | None = None,
+        include_redundant: bool = False,
+        method: str = "auto",
+    ) -> None:
+        self.network = network
+        t0 = time.perf_counter()
+        self.vi = VariableIndex(network, triples=triples)
+        self.system = build_constraints(
+            network, self.vi, include_redundant=include_redundant
+        )
+        self._bounds_array = np.column_stack([self.system.lb, self.system.ub])
+        self.build_time_s = time.perf_counter() - t0
+        if method == "auto":
+            method = (
+                "highs" if self.system.n_variables <= _IPM_THRESHOLD else "highs-ipm"
+            )
+        self.method = method
+        self.n_solves = 0
+        self.n_fallbacks = 0  # solves completed by a different HiGHS algorithm
+        self.solve_time_s = 0.0
+
+    # ------------------------------------------------------------------ #
+    def optimize(self, metric: LinearMetric, sense: str) -> float:
+        """Optimal value of one metric in one direction."""
+        c = metric.dense(self.system.n_variables)
+        return self._optimize_dense(c, sense, metric.name) + metric.constant
+
+    def _optimize_dense(self, c: np.ndarray, sense: str, name: str) -> float:
+        if sense not in ("min", "max"):
+            raise ValueError(f"sense must be 'min' or 'max', got {sense!r}")
+        sign = 1.0 if sense == "min" else -1.0
+        t0 = time.perf_counter()
+        res = solve_lp_core(sign * c, self.system, self.method, self._bounds_array)
+        self.solve_time_s += time.perf_counter() - t0
+        self.n_solves += 1
+        if getattr(res, "method_used", self.method) != self.method:
+            self.n_fallbacks += 1
+        if not res.success:
+            raise SolverError(
+                f"LP {sense} of {name} failed: {res.message} (status {res.status})"
+            )
+        return float(sign * res.fun)
+
+    def bound(self, metric: LinearMetric) -> Interval:
+        """[min, max] of one metric — one dense vector, two solves."""
+        c = metric.dense(self.system.n_variables)
+        lo = self._optimize_dense(c, "min", metric.name) + metric.constant
+        hi = self._optimize_dense(c, "max", metric.name) + metric.constant
+        if lo > hi:  # round-off on a degenerate (point) interval
+            lo, hi = hi, lo
+        return Interval(lower=lo, upper=hi)
+
+    # ------------------------------------------------------------------ #
+    def _metric_for(self, spec: str, reference: int) -> LinearMetric:
+        if spec == "system_throughput":
+            return system_throughput_metric(self.network, self.vi, reference)
+        name, _, rest = spec.partition("[")
+        k = int(rest[:-1])
+        builder = {
+            "utilization": utilization_metric,
+            "throughput": throughput_metric,
+            "queue_length": queue_length_metric,
+        }[name]
+        return builder(self.network, self.vi, k)
+
+    def bound_specs(
+        self, specs="standard", reference: int = 0
+    ) -> dict[str, Interval]:
+        """Bound every requested metric; returns canonical-spec -> Interval."""
+        expanded = expand_metric_specs(specs, self.network.n_stations)
+        out: dict[str, Interval] = {}
+        for spec in expanded:
+            if spec == "response_time":
+                continue  # derived below
+            out[spec] = self.bound(self._metric_for(spec, reference))
+        if "response_time" in expanded:
+            x = out["system_throughput"]
+            N = self.network.population
+            out["response_time"] = Interval(lower=N / x.upper, upper=N / x.lower)
+        return out
+
+    def standard_bounds(self, reference: int = 0) -> BoundsResult:
+        """Drop-in equivalent of :func:`repro.core.bounds.solve_bounds`."""
+        b = self.bound_specs("standard", reference)
+        M = self.network.n_stations
+        return BoundsResult(
+            network=self.network,
+            utilization=[b[f"utilization[{k}]"] for k in range(M)],
+            throughput=[b[f"throughput[{k}]"] for k in range(M)],
+            queue_length=[b[f"queue_length[{k}]"] for k in range(M)],
+            system_throughput=b["system_throughput"],
+            response_time=b["response_time"],
+        )

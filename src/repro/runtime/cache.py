@@ -1,0 +1,187 @@
+"""Two-tier (memory + disk) result cache keyed by content fingerprint.
+
+The memory tier is a per-process LRU over deserialized payload dicts; the
+disk tier persists JSON files under a cache directory (default
+``.repro-cache/``, overridable via ``REPRO_CACHE_DIR``) so repeated
+benchmark or experiment invocations across processes are served without
+recomputation.  Both tiers are size-bounded: memory by entry count with LRU
+eviction, disk by file count with oldest-mtime eviction.
+
+Disk writes go through a temp file + :func:`os.replace` so concurrent sweep
+workers sharing one cache directory never observe a torn entry.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["CacheStats", "ResultCache", "default_cache_dir"]
+
+
+def default_cache_dir() -> Path:
+    """The on-disk cache location: ``$REPRO_CACHE_DIR`` or ``.repro-cache``."""
+    return Path(os.environ.get("REPRO_CACHE_DIR", ".repro-cache"))
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters of one :class:`ResultCache`."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    memory_evictions: int = 0
+    disk_evictions: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.memory_hits + self.disk_hits
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "memory_evictions": self.memory_evictions,
+            "disk_evictions": self.disk_evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+
+@dataclass
+class ResultCache:
+    """Fingerprint-keyed store of JSON-serializable payload dicts.
+
+    Parameters
+    ----------
+    directory:
+        Disk-tier location; ``None`` disables the disk tier entirely
+        (memory-only cache).
+    max_memory_entries:
+        LRU capacity of the in-process tier.
+    max_disk_entries:
+        File-count bound of the disk tier; exceeding it evicts the
+        least-recently-modified entries.
+    """
+
+    directory: Path | None = field(default_factory=default_cache_dir)
+    max_memory_entries: int = 512
+    max_disk_entries: int = 4096
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        if self.directory is not None:
+            self.directory = Path(self.directory)
+        self._memory: OrderedDict[str, dict] = OrderedDict()
+        # Approximate disk-entry count, initialized lazily on first write;
+        # keeps puts O(1) instead of globbing the directory every time.
+        self._disk_count: int | None = None
+
+    # ------------------------------------------------------------------ #
+    def _path(self, key: str) -> Path:
+        assert self.directory is not None
+        return self.directory / f"{key}.json"
+
+    def get(self, key: str) -> dict | None:
+        """Payload for ``key`` or None; disk hits are promoted to memory."""
+        if key in self._memory:
+            self._memory.move_to_end(key)
+            self.stats.memory_hits += 1
+            return self._memory[key]
+        if self.directory is not None:
+            path = self._path(key)
+            try:
+                with open(path) as fh:
+                    payload = json.load(fh)
+            except (OSError, json.JSONDecodeError):
+                payload = None
+            if payload is not None:
+                self.stats.disk_hits += 1
+                self._remember(key, payload)
+                return payload
+        self.stats.misses += 1
+        return None
+
+    def put(self, key: str, payload: dict) -> None:
+        """Store ``payload`` in both tiers (atomic on disk)."""
+        self.stats.puts += 1
+        self._remember(key, payload)
+        if self.directory is None:
+            return
+        self.directory.mkdir(parents=True, exist_ok=True)
+        if self._disk_count is None:
+            self._disk_count = sum(1 for _ in self.directory.glob("*.json"))
+        target = self._path(key)
+        existed = target.exists()
+        fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(payload, fh)
+            os.replace(tmp, target)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        if not existed:
+            self._disk_count += 1
+        if self._disk_count > self.max_disk_entries:
+            self._evict_disk()
+
+    def _remember(self, key: str, payload: dict) -> None:
+        self._memory[key] = payload
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.max_memory_entries:
+            self._memory.popitem(last=False)
+            self.stats.memory_evictions += 1
+
+    def _evict_disk(self) -> None:
+        assert self.directory is not None
+        entries = sorted(
+            self.directory.glob("*.json"), key=lambda p: p.stat().st_mtime
+        )
+        self._disk_count = len(entries)
+        while len(entries) > self.max_disk_entries:
+            victim = entries.pop(0)
+            try:
+                victim.unlink()
+                self.stats.disk_evictions += 1
+                self._disk_count -= 1
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------ #
+    def __contains__(self, key: str) -> bool:
+        if key in self._memory:
+            return True
+        return self.directory is not None and self._path(key).exists()
+
+    def __len__(self) -> int:
+        keys = set(self._memory)
+        if self.directory is not None and self.directory.is_dir():
+            keys.update(p.stem for p in self.directory.glob("*.json"))
+        return len(keys)
+
+    def clear(self, disk: bool = True) -> None:
+        """Drop the memory tier (and the disk tier unless ``disk=False``)."""
+        self._memory.clear()
+        if disk and self.directory is not None and self.directory.is_dir():
+            for path in self.directory.glob("*.json"):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+            self._disk_count = 0

@@ -1,0 +1,112 @@
+"""Content-addressed fingerprints of models and solver invocations.
+
+A fingerprint is a SHA-256 digest of a *canonical* byte serialization of a
+:class:`~repro.network.model.ClosedNetwork` plus the solver method and its
+options.  Two invocations with the same fingerprint are guaranteed to
+describe the same computation, so the digest is a safe cache key — stable
+across process restarts, interpreter versions, and machines (float bytes are
+serialized in fixed little-endian IEEE-754, independent of platform order).
+
+The schema version below is baked into every digest: bump it whenever the
+semantics of any registered solver change, so stale on-disk cache entries
+from older code are never served.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any
+
+import numpy as np
+
+from repro.network.model import ClosedNetwork
+
+__all__ = ["FingerprintError", "fingerprint_network", "fingerprint_solve"]
+
+#: Bump to invalidate every existing cache entry (schema/solver semantics).
+SCHEMA_VERSION = 1
+
+
+class FingerprintError(TypeError):
+    """An object cannot be canonically serialized (i.e. is not cacheable)."""
+
+
+def _canon(obj: Any) -> bytes:
+    """Canonical byte encoding of a JSON-ish value tree.
+
+    Supports None, bool, int, float, str, numpy scalars/arrays, and
+    (possibly nested) list/tuple/dict.  Dict keys are sorted so option
+    dictionaries hash identically regardless of construction order.
+    """
+    if obj is None:
+        return b"n"
+    if isinstance(obj, (bool, np.bool_)):
+        return b"b1" if obj else b"b0"
+    if isinstance(obj, (int, np.integer)):
+        return b"i" + str(int(obj)).encode()
+    if isinstance(obj, (float, np.floating)):
+        return b"f" + np.float64(obj).astype("<f8").tobytes()
+    if isinstance(obj, str):
+        data = obj.encode()
+        return b"s" + str(len(data)).encode() + b":" + data
+    if isinstance(obj, np.ndarray):
+        arr = np.ascontiguousarray(obj, dtype=np.float64)
+        shape = ",".join(str(d) for d in arr.shape).encode()
+        return b"a" + shape + b":" + arr.astype("<f8").tobytes()
+    if isinstance(obj, (list, tuple)):
+        return b"l" + b"".join(_canon(v) for v in obj) + b"e"
+    if isinstance(obj, dict):
+        parts = []
+        for key in sorted(obj):
+            if not isinstance(key, str):
+                raise FingerprintError(f"dict keys must be str, got {key!r}")
+            parts.append(_canon(key) + _canon(obj[key]))
+        return b"d" + b"".join(parts) + b"e"
+    raise FingerprintError(
+        f"cannot fingerprint object of type {type(obj).__name__}: {obj!r}"
+    )
+
+
+def _network_tree(network: ClosedNetwork) -> dict:
+    """The canonical value tree of a network (everything that defines it)."""
+    return {
+        "stations": [
+            {
+                "name": st.name,
+                "kind": st.kind,
+                "servers": st.servers,
+                "D0": st.service.D0,
+                "D1": st.service.D1,
+            }
+            for st in network.stations
+        ],
+        "routing": network.routing,
+        "population": network.population,
+    }
+
+
+def fingerprint_network(network: ClosedNetwork) -> str:
+    """Hex digest identifying the model alone (no solver options)."""
+    return hashlib.sha256(
+        _canon({"schema": SCHEMA_VERSION, "network": _network_tree(network)})
+    ).hexdigest()
+
+
+def fingerprint_solve(
+    network: ClosedNetwork, method: str, opts: dict[str, Any]
+) -> str:
+    """Hex digest identifying one ``solve(network, method, **opts)`` call.
+
+    Raises
+    ------
+    FingerprintError
+        If any option value is not canonically serializable (e.g. a live
+        ``FlowTap`` or an open generator): such calls must bypass the cache.
+    """
+    tree = {
+        "schema": SCHEMA_VERSION,
+        "network": _network_tree(network),
+        "method": method,
+        "opts": dict(opts),
+    }
+    return hashlib.sha256(_canon(tree)).hexdigest()

@@ -1,0 +1,552 @@
+"""The solver registry: one ``solve(network, method, **opts)`` facade.
+
+Every analysis in the repository — the paper's LP bounds, the exact CTMC,
+the simulator, the QBD heavy-traffic approximation, and the classical
+baselines (MVA/ABA/BJB/decomposition) — is wrapped as a registered adapter
+returning one uniform :class:`SolveResult`.  Point solvers return degenerate
+(zero-width) intervals; bounding solvers return certified intervals; both
+expose the same accessors, so experiment drivers and sweeps are written once
+against the facade.
+
+Results are content-addressed (see :mod:`repro.runtime.fingerprint`) and
+transparently cached (see :mod:`repro.runtime.cache`); a cache hit replays
+the stored result, including the *original* compute time in
+``wall_time_s`` — so timing columns of experiment tables stay meaningful on
+cached reruns while ``from_cache`` tells you nothing was recomputed.
+"""
+
+from __future__ import annotations
+
+import inspect
+import math
+import time
+from dataclasses import dataclass, field, replace
+from typing import Callable
+
+import numpy as np
+
+from repro.baselines.aba import aba_bounds
+from repro.baselines.bjb import bjb_bounds
+from repro.baselines.decomposition import decomposition
+from repro.baselines.mva import mva
+from repro.core.bounds import Interval
+from repro.network.exact import solve_exact
+from repro.network.model import ClosedNetwork
+from repro.qbd.mapm1 import MapM1Queue
+from repro.runtime.batch import BatchLPSolver
+from repro.runtime.cache import ResultCache
+from repro.runtime.fingerprint import FingerprintError, fingerprint_solve
+from repro.sim.engine import simulate
+from repro.utils.errors import NotSupportedError
+
+__all__ = ["SolveResult", "SolverRegistry"]
+
+
+def _pt(value: float) -> Interval:
+    """Degenerate interval for a point estimate."""
+    value = float(value)
+    return Interval(lower=value, upper=value)
+
+
+def _iv_to_json(iv: Interval | None):
+    return None if iv is None else [iv.lower, iv.upper]
+
+
+def _iv_from_json(obj) -> Interval | None:
+    return None if obj is None else Interval(lower=obj[0], upper=obj[1])
+
+
+@dataclass(frozen=True)
+class SolveResult:
+    """Uniform output of every registered solver.
+
+    Station metrics are tuples indexed like ``network.stations``; entries
+    are ``None`` when the invocation did not request/produce that metric
+    (e.g. an LP solve restricted to ``metrics=("system_throughput",)``).
+    Intervals from bounding methods are certified; point methods return
+    zero-width intervals (simulation: the point estimate of the run).
+    """
+
+    method: str
+    station_names: tuple[str, ...]
+    population: int
+    utilization: tuple[Interval | None, ...]
+    throughput: tuple[Interval | None, ...]
+    queue_length: tuple[Interval | None, ...]
+    system_throughput: Interval | None
+    response_time: Interval | None
+    wall_time_s: float = 0.0
+    from_cache: bool = False
+    fingerprint: str | None = None
+    extra: dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    def _station_metric(self, name: str, k: int) -> Interval:
+        iv = getattr(self, name)[k]
+        if iv is None:
+            raise KeyError(
+                f"{name}[{k}] was not computed by this {self.method!r} solve "
+                f"(request it via the metrics option)"
+            )
+        return iv
+
+    def utilization_interval(self, k: int) -> Interval:
+        return self._station_metric("utilization", k)
+
+    def throughput_interval(self, k: int) -> Interval:
+        return self._station_metric("throughput", k)
+
+    def queue_length_interval(self, k: int) -> Interval:
+        return self._station_metric("queue_length", k)
+
+    def utilization_point(self, k: int) -> float:
+        """Midpoint of the utilization interval (the value, for point solvers)."""
+        return self._station_metric("utilization", k).midpoint
+
+    def throughput_point(self, k: int) -> float:
+        return self._station_metric("throughput", k).midpoint
+
+    def queue_length_point(self, k: int) -> float:
+        return self._station_metric("queue_length", k).midpoint
+
+    def system_throughput_point(self) -> float:
+        if self.system_throughput is None:
+            raise KeyError(f"system throughput not computed by {self.method!r}")
+        return self.system_throughput.midpoint
+
+    def response_time_point(self) -> float:
+        if self.response_time is None:
+            raise KeyError(f"response time not computed by {self.method!r}")
+        return self.response_time.midpoint
+
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict:
+        """JSON-serializable payload (the on-disk cache format)."""
+        return {
+            "method": self.method,
+            "station_names": list(self.station_names),
+            "population": self.population,
+            "utilization": [_iv_to_json(iv) for iv in self.utilization],
+            "throughput": [_iv_to_json(iv) for iv in self.throughput],
+            "queue_length": [_iv_to_json(iv) for iv in self.queue_length],
+            "system_throughput": _iv_to_json(self.system_throughput),
+            "response_time": _iv_to_json(self.response_time),
+            "wall_time_s": self.wall_time_s,
+            "fingerprint": self.fingerprint,
+            # copied so cached payloads never alias a caller-visible dict
+            "extra": dict(self.extra),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict, from_cache: bool = False) -> "SolveResult":
+        return cls(
+            method=payload["method"],
+            station_names=tuple(payload["station_names"]),
+            population=int(payload["population"]),
+            utilization=tuple(_iv_from_json(v) for v in payload["utilization"]),
+            throughput=tuple(_iv_from_json(v) for v in payload["throughput"]),
+            queue_length=tuple(_iv_from_json(v) for v in payload["queue_length"]),
+            system_throughput=_iv_from_json(payload["system_throughput"]),
+            response_time=_iv_from_json(payload["response_time"]),
+            wall_time_s=float(payload["wall_time_s"]),
+            from_cache=from_cache,
+            fingerprint=payload.get("fingerprint"),
+            extra=dict(payload.get("extra", {})),
+        )
+
+
+def _make_result(
+    network: ClosedNetwork,
+    method: str,
+    utilization,
+    throughput,
+    queue_length,
+    system_throughput,
+    response_time,
+    extra: dict | None = None,
+) -> SolveResult:
+    return SolveResult(
+        method=method,
+        station_names=tuple(st.name for st in network.stations),
+        population=network.population,
+        utilization=tuple(utilization),
+        throughput=tuple(throughput),
+        queue_length=tuple(queue_length),
+        system_throughput=system_throughput,
+        response_time=response_time,
+        extra=extra or {},
+    )
+
+
+# ---------------------------------------------------------------------- #
+# adapters
+# ---------------------------------------------------------------------- #
+def _solve_lp(
+    network: ClosedNetwork,
+    metrics="standard",
+    reference: int = 0,
+    triples: bool | None = None,
+    include_redundant: bool = False,
+    lp_method: str = "auto",
+) -> SolveResult:
+    solver = BatchLPSolver(
+        network,
+        triples=triples,
+        include_redundant=include_redundant,
+        method=lp_method,
+    )
+    bounds = solver.bound_specs(metrics, reference=reference)
+    M = network.n_stations
+    return _make_result(
+        network,
+        "lp",
+        [bounds.get(f"utilization[{k}]") for k in range(M)],
+        [bounds.get(f"throughput[{k}]") for k in range(M)],
+        [bounds.get(f"queue_length[{k}]") for k in range(M)],
+        bounds.get("system_throughput"),
+        bounds.get("response_time"),
+        extra={
+            "t_build_s": solver.build_time_s,
+            "t_solve_s": solver.solve_time_s,
+            "n_variables": solver.system.n_variables,
+            "n_lp_solves": solver.n_solves,
+            "lp_method": solver.method,
+            "lp_fallbacks": solver.n_fallbacks,
+            "certified": True,
+        },
+    )
+
+
+def _solve_exact(
+    network: ClosedNetwork,
+    reference: int = 0,
+    ctmc_method: str = "auto",
+    max_states: int = 2_000_000,
+) -> SolveResult:
+    sol = solve_exact(network, method=ctmc_method, max_states=max_states)
+    M = network.n_stations
+    x = sol.system_throughput(reference)
+    return _make_result(
+        network,
+        "exact",
+        [_pt(sol.utilization(k)) for k in range(M)],
+        [_pt(sol.throughput(k)) for k in range(M)],
+        [_pt(sol.mean_queue_length(k)) for k in range(M)],
+        _pt(x),
+        _pt(network.population / x),
+        extra={"n_states": int(sol.space.size), "exact": True},
+    )
+
+
+def _solve_sim(
+    network: ClosedNetwork,
+    rng=None,
+    horizon_events: int = 200_000,
+    warmup_events: int = 20_000,
+    reference: int = 0,
+    taps=None,
+    initial_station: int = 0,
+) -> SolveResult:
+    sim = simulate(
+        network,
+        horizon_events=horizon_events,
+        warmup_events=warmup_events,
+        rng=rng,
+        taps=taps,
+        initial_station=initial_station,
+    )
+    M = network.n_stations
+    x = sim.system_throughput(reference)
+    return _make_result(
+        network,
+        "sim",
+        [_pt(sim.utilization[k]) for k in range(M)],
+        [_pt(sim.throughput[k]) for k in range(M)],
+        [_pt(sim.mean_queue_length[k]) for k in range(M)],
+        _pt(x),
+        _pt(network.population / x),
+        extra={
+            "duration": float(sim.duration),
+            "horizon_events": horizon_events,
+            "warmup_events": warmup_events,
+            "estimate": True,
+        },
+    )
+
+
+def _solve_qbd(network: ClosedNetwork, reference: int = 0) -> SolveResult:
+    """Heavy-traffic open-queue approximation via the QBD layer.
+
+    Supported shape: a two-station network where a MAP station (the
+    "source") feeds an exponential single-server queue.  In the saturated-
+    source regime the server sees the source's service MAP as its arrival
+    process, so the closed pair is approximated by the open MAP/M/1 queue
+    (exactly the limiting construction of the paper's single-queue
+    predecessors).  Metrics are the open-queue values, clipped to the
+    closed network's population where applicable.
+    """
+    if network.n_stations != 2:
+        raise NotSupportedError(
+            "the qbd method approximates 2-station (source -> server) "
+            f"networks; got {network.n_stations} stations"
+        )
+    exp_idx = [k for k, st in enumerate(network.stations)
+               if st.kind == "queue" and st.phases == 1]
+    if not exp_idx:
+        raise NotSupportedError(
+            "the qbd method needs an exponential single-server station"
+        )
+    # If both are exponential, serve the slower one (the bottleneck).
+    server = max(exp_idx, key=lambda k: network.stations[k].mean_service_time)
+    source = 1 - server
+    arrivals = network.stations[source].service
+    mu = 1.0 / network.stations[server].mean_service_time
+    q = MapM1Queue(arrivals, mu=mu)
+    if not q.is_stable:
+        raise NotSupportedError(
+            f"the qbd approximation requires rho < 1; got rho = "
+            f"{q.offered_load:.4f} (the server, not the source, saturates)"
+        )
+    N = network.population
+    lam = arrivals.rate
+    q_server = min(float(q.mean_queue_length), float(N))
+    q_source = max(float(N) - q_server, 0.0)
+    util = [None, None]
+    qlen = [None, None]
+    util[server] = _pt(min(float(q.utilization), 1.0))
+    util[source] = _pt(1.0)  # saturated-source regime
+    qlen[server] = _pt(q_server)
+    qlen[source] = _pt(q_source)
+    thr = [_pt(lam), _pt(lam)]
+    return _make_result(
+        network,
+        "qbd",
+        util,
+        thr,
+        qlen,
+        _pt(lam),
+        _pt(N / lam),
+        extra={
+            "approximation": "saturated-source MAP/M/1",
+            "rho": float(q.offered_load),
+            "server_station": int(server),
+        },
+    )
+
+
+def _solve_mva(network: ClosedNetwork, reference: int = 0) -> SolveResult:
+    res = mva(network)
+    x_ref = float(res.throughput[reference])
+    return _make_result(
+        network,
+        "mva",
+        [_pt(u) if math.isfinite(u) else None for u in res.utilization],
+        [_pt(t) for t in res.throughput],
+        [_pt(qv) for qv in res.queue_length],
+        _pt(x_ref),
+        _pt(network.population / x_ref),
+        extra={"product_form": True},
+    )
+
+
+def _solve_aba(network: ClosedNetwork, reference: int = 0) -> SolveResult:
+    b = aba_bounds(network)
+    M = network.n_stations
+    N = network.population
+    demands = network.service_demands
+    util = []
+    for k in range(M):
+        if network.stations[k].kind == "delay":
+            util.append(None)
+        else:
+            lo, hi = b.utilization_bounds(float(demands[k]))
+            util.append(Interval(lower=lo, upper=hi))
+    x = Interval(lower=b.throughput_lower, upper=b.throughput_upper)
+    v = network.visit_ratios
+    thr = [Interval(lower=x.lower * v[k], upper=x.upper * v[k]) for k in range(M)]
+    qlen = [Interval(lower=0.0, upper=float(N))] * M
+    return _make_result(
+        network,
+        "aba",
+        util,
+        thr,
+        qlen,
+        x,
+        Interval(lower=N / x.upper, upper=N / x.lower),
+        extra={"certified": True, "first_moment_only": True},
+    )
+
+
+def _solve_bjb(network: ClosedNetwork, reference: int = 0) -> SolveResult:
+    b = bjb_bounds(network)
+    M = network.n_stations
+    N = network.population
+    demands = network.service_demands
+    x = Interval(lower=b.throughput_lower, upper=b.throughput_upper)
+    v = network.visit_ratios
+    util = [
+        Interval(
+            lower=min(1.0, x.lower * float(demands[k])),
+            upper=min(1.0, x.upper * float(demands[k])),
+        )
+        for k in range(M)
+    ]
+    thr = [Interval(lower=x.lower * v[k], upper=x.upper * v[k]) for k in range(M)]
+    qlen = [Interval(lower=0.0, upper=float(N))] * M
+    return _make_result(
+        network,
+        "bjb",
+        util,
+        thr,
+        qlen,
+        x,
+        Interval(lower=b.response_lower, upper=b.response_upper),
+        extra={"certified": True, "first_moment_only": True},
+    )
+
+
+def _solve_decomposition(network: ClosedNetwork, reference: int = 0) -> SolveResult:
+    res = decomposition(network)
+    M = network.n_stations
+    x = float(res.system_throughput)
+    return _make_result(
+        network,
+        "decomposition",
+        [_pt(u) if math.isfinite(u) else None for u in res.utilization],
+        [_pt(t) for t in res.throughput],
+        [_pt(qv) for qv in res.queue_length],
+        _pt(x),
+        _pt(network.population / x),
+        extra={"approximation": "Courtois decomposition-aggregation"},
+    )
+
+
+def _normalized_opts(adapter: Callable, opts: dict) -> dict:
+    """Fill in the adapter's keyword defaults before fingerprinting.
+
+    Makes ``solve(net, "exact")`` and ``solve(net, "exact", reference=0)``
+    hash to the same cache key — without this, spelled-out defaults would
+    silently duplicate cache entries across drivers.
+    """
+    try:
+        bound = inspect.signature(adapter).bind_partial(**opts)
+    except TypeError as exc:
+        # Unknown keyword: let the adapter raise its own error on the
+        # compute path rather than failing here with a confusing message.
+        raise FingerprintError(str(exc)) from exc
+    bound.apply_defaults()
+    return dict(bound.arguments)
+
+
+# ---------------------------------------------------------------------- #
+# the registry
+# ---------------------------------------------------------------------- #
+class SolverRegistry:
+    """Dispatch ``solve(network, method, **opts)`` with transparent caching.
+
+    Parameters
+    ----------
+    cache:
+        A :class:`~repro.runtime.cache.ResultCache`, or ``None`` to disable
+        caching entirely.  The default builds a two-tier cache rooted at
+        ``.repro-cache/`` (``REPRO_CACHE_DIR`` overrides).
+    """
+
+    def __init__(self, cache: ResultCache | None = None) -> None:
+        self.cache = cache
+        self._adapters: dict[str, tuple[Callable, bool, tuple[str, ...]]] = {}
+        for name, fn, stochastic in (
+            ("lp", _solve_lp, False),
+            ("exact", _solve_exact, False),
+            ("sim", _solve_sim, True),
+            ("qbd", _solve_qbd, False),
+            ("mva", _solve_mva, False),
+            ("aba", _solve_aba, False),
+            ("bjb", _solve_bjb, False),
+            ("decomposition", _solve_decomposition, False),
+        ):
+            self.register(
+                name,
+                fn,
+                stochastic=stochastic,
+                # live taps record event epochs as a side effect; a cached
+                # replay could not re-record them, so such calls always run
+                uncacheable_opts=("taps",) if name == "sim" else (),
+            )
+
+    def register(
+        self,
+        name: str,
+        adapter: Callable,
+        stochastic: bool = False,
+        uncacheable_opts: tuple[str, ...] = (),
+    ) -> None:
+        """Add (or replace) a solver adapter.
+
+        ``stochastic`` adapters are only cached when called with an integer
+        ``rng`` seed — an unseeded run must stay a fresh random draw.
+        ``uncacheable_opts`` names side-effecting options (e.g. the
+        simulator's ``taps``) that force a fresh computation when set.
+        """
+        self._adapters[name] = (adapter, stochastic, tuple(uncacheable_opts))
+
+    @property
+    def methods(self) -> tuple[str, ...]:
+        """Registered method names."""
+        return tuple(self._adapters)
+
+    def is_stochastic(self, method: str) -> bool:
+        """True when the method consumes an ``rng`` seed (e.g. simulation)."""
+        if method not in self._adapters:
+            raise KeyError(
+                f"unknown solve method {method!r}; registered: "
+                f"{', '.join(self.methods)}"
+            )
+        return self._adapters[method][1]
+
+    def solve(
+        self,
+        network: ClosedNetwork,
+        method: str = "lp",
+        cache: bool = True,
+        **opts,
+    ) -> SolveResult:
+        """Solve ``network`` with the named method, serving from cache if hit."""
+        try:
+            adapter, stochastic, uncacheable = self._adapters[method]
+        except KeyError:
+            raise KeyError(
+                f"unknown solve method {method!r}; registered: "
+                f"{', '.join(self.methods)}"
+            ) from None
+
+        use_cache = cache and self.cache is not None
+        if stochastic and not isinstance(opts.get("rng"), (int, np.integer)):
+            use_cache = False  # unseeded runs must stay random
+        if any(opts.get(name) is not None for name in uncacheable):
+            use_cache = False  # side-effecting option (e.g. live taps)
+        key = None
+        if use_cache:
+            try:
+                key = fingerprint_solve(
+                    network, method, _normalized_opts(adapter, opts)
+                )
+            except FingerprintError:
+                use_cache = False  # non-serializable opts (taps, generators)
+        if use_cache and key is not None:
+            payload = self.cache.get(key)
+            if payload is not None:
+                return SolveResult.from_dict(payload, from_cache=True)
+
+        t0 = time.perf_counter()
+        result = adapter(network, **opts)
+        result = replace(
+            result, wall_time_s=time.perf_counter() - t0, fingerprint=key
+        )
+        if use_cache and key is not None:
+            self.cache.put(key, result.to_dict())
+        return result
+
+    def cache_stats(self) -> dict:
+        """Hit/miss counters of the attached cache (empty dict if none)."""
+        return self.cache.stats.as_dict() if self.cache is not None else {}

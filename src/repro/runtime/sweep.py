@@ -1,0 +1,248 @@
+"""Parallel parameter sweeps over the solver registry.
+
+Every figure of the paper is a sweep — populations for Fig. 4/8/Table 1,
+browser counts for Fig. 3, (M, N) grids for the scalability claim.  The
+:class:`SweepRunner` fans the per-point solves across a
+``concurrent.futures.ProcessPoolExecutor``; points are independent CTMC/LP/
+simulation solves, so the speedup is near-linear until memory bandwidth
+saturates.
+
+Determinism: per-point RNG seeds are derived from ``(base_seed, index)``
+through :class:`numpy.random.SeedSequence`, and the derivation is identical
+on the serial and parallel paths — a sweep with the same ``base_seed``
+returns bit-identical results whichever executor runs it, in input order.
+
+Workers build their own :class:`~repro.runtime.registry.SolverRegistry`
+pointing at the *same* disk cache directory, so a re-run of a sweep is
+served from disk without recomputation regardless of worker count.
+
+Run ``python -m repro.runtime.sweep --help`` for a CLI demonstration on the
+paper's Figure 5 case-study network.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Sequence
+
+import numpy as np
+
+from repro.network.model import ClosedNetwork
+from repro.runtime.cache import ResultCache, default_cache_dir
+from repro.runtime.registry import SolveResult, SolverRegistry
+
+__all__ = ["SweepRunner", "derive_seed"]
+
+
+def derive_seed(base_seed: int, index: int) -> int:
+    """Deterministic, well-mixed per-point seed from ``(base_seed, index)``."""
+    seq = np.random.SeedSequence([int(base_seed), int(index)])
+    return int(seq.generate_state(1, dtype=np.uint64)[0] >> 1)
+
+
+# Per-process registry (workers are forked/spawned without parent state).
+_worker_registry: SolverRegistry | None = None
+_worker_cache_dir: "str | None" = None
+
+
+def _get_worker_registry(cache_dir: "str | None") -> SolverRegistry:
+    global _worker_registry, _worker_cache_dir
+    if _worker_registry is None or _worker_cache_dir != cache_dir:
+        cache = ResultCache(directory=cache_dir) if cache_dir else None
+        _worker_registry = SolverRegistry(cache=cache)
+        _worker_cache_dir = cache_dir
+    return _worker_registry
+
+
+def _solve_point(payload) -> SolveResult:
+    """Top-level worker entry (must be picklable for ProcessPoolExecutor)."""
+    network, method, opts, cache_dir = payload
+    return _get_worker_registry(cache_dir).solve(network, method, **opts)
+
+
+class SweepRunner:
+    """Fan independent model solves across processes, results in order.
+
+    Parameters
+    ----------
+    registry:
+        Registry used on the serial path (``workers <= 1``); defaults to a
+        fresh registry over ``cache_dir``.
+    workers:
+        Default worker count; ``None`` picks ``min(n_points, cpu_count)``,
+        ``0``/``1`` solve serially in-process.
+    cache_dir:
+        Disk cache directory shared by all workers; ``None`` disables the
+        disk tier (each worker still has its in-memory tier).  When omitted
+        it follows the given registry's cache (so serial and parallel paths
+        see the same store), falling back to
+        :func:`~repro.runtime.cache.default_cache_dir` (resolved at call
+        time, honoring ``REPRO_CACHE_DIR``).
+    """
+
+    _UNSET = object()
+
+    def __init__(
+        self,
+        registry: SolverRegistry | None = None,
+        workers: int | None = None,
+        cache_dir: "str | os.PathLike | None" = _UNSET,
+    ) -> None:
+        if cache_dir is self._UNSET:
+            if registry is not None:
+                cache = registry.cache
+                cache_dir = (
+                    str(cache.directory)
+                    if cache is not None and cache.directory is not None
+                    else None
+                )
+            else:
+                cache_dir = str(default_cache_dir())
+        self.cache_dir = str(cache_dir) if cache_dir is not None else None
+        if registry is None:
+            cache = ResultCache(directory=self.cache_dir) if self.cache_dir else None
+            registry = SolverRegistry(cache=cache)
+        self.registry = registry
+        self.workers = workers
+        self.last_wall_time_s: float = 0.0
+
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        networks: Sequence[ClosedNetwork],
+        method: str = "lp",
+        base_seed: int | None = None,
+        workers: int | None = None,
+        cache: bool = True,
+        **opts,
+    ) -> list[SolveResult]:
+        """Solve every network; returns results in input order.
+
+        ``base_seed`` derives a deterministic per-point ``rng`` seed for
+        stochastic methods (ignored for deterministic methods, and when the
+        caller passes ``rng`` explicitly); identical on serial and parallel
+        paths.
+        """
+        networks = list(networks)
+        seed_points = base_seed is not None and self.registry.is_stochastic(method)
+        per_point_opts: list[dict] = []
+        for i in range(len(networks)):
+            o = dict(opts)
+            if seed_points and "rng" not in o:
+                o["rng"] = derive_seed(base_seed, i)
+            o["cache"] = cache
+            per_point_opts.append(o)
+
+        if workers is None:
+            workers = self.workers
+        if workers is None:
+            workers = min(len(networks), os.cpu_count() or 1)
+
+        t0 = time.perf_counter()
+        if workers <= 1 or len(networks) <= 1:
+            results = [
+                self.registry.solve(net, method, **o)
+                for net, o in zip(networks, per_point_opts)
+            ]
+        else:
+            payloads = [
+                (net, method, o, self.cache_dir)
+                for net, o in zip(networks, per_point_opts)
+            ]
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                results = list(pool.map(_solve_point, payloads))
+        self.last_wall_time_s = time.perf_counter() - t0
+        return results
+
+    def population_sweep(
+        self,
+        base_network: ClosedNetwork,
+        populations: Sequence[int],
+        method: str = "lp",
+        **kwargs,
+    ) -> list[SolveResult]:
+        """Sweep the job population N, everything else fixed."""
+        nets = [base_network.with_population(int(n)) for n in populations]
+        return self.run(nets, method, **kwargs)
+
+
+# ---------------------------------------------------------------------- #
+# CLI demo: cached, parallel population sweep on the Figure 5 network
+# ---------------------------------------------------------------------- #
+def main(argv: "list[str] | None" = None) -> None:  # pragma: no cover - CLI
+    import argparse
+
+    from repro.experiments.fig8 import fig5_network
+    from repro.utils.tables import format_table
+
+    parser = argparse.ArgumentParser(
+        description="Parallel cached population sweep on the paper's "
+        "Figure 5 case-study network."
+    )
+    parser.add_argument(
+        "--populations",
+        default="2,4,6,8,10,12,14,16",
+        help="comma-separated population list (default: 8 points)",
+    )
+    parser.add_argument("--method", default="lp",
+                        help="solver method (lp/exact/sim/mva/aba/bjb/...)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="process count (default: one per point, capped)")
+    parser.add_argument("--seed", type=int, default=2008,
+                        help="base seed for stochastic methods")
+    parser.add_argument("--cache-dir", default=str(default_cache_dir()))
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the result cache")
+    args = parser.parse_args(argv)
+
+    try:
+        populations = [int(tok) for tok in args.populations.split(",") if tok]
+    except ValueError:
+        parser.error(f"--populations must be comma-separated integers, got "
+                     f"{args.populations!r}")
+    if not populations:
+        parser.error("--populations is empty")
+    runner = SweepRunner(
+        cache_dir=None if args.no_cache else args.cache_dir,
+    )
+    net = fig5_network(populations[0])
+    results = runner.population_sweep(
+        net,
+        populations,
+        method=args.method,
+        base_seed=args.seed,
+        workers=args.workers,
+        cache=not args.no_cache,
+    )
+    rows = []
+    for N, res in zip(populations, results):
+        x = res.system_throughput
+        rows.append(
+            [
+                N,
+                res.method,
+                x.lower if x else float("nan"),
+                x.upper if x else float("nan"),
+                res.wall_time_s,
+                "hit" if res.from_cache else "miss",
+            ]
+        )
+    print(
+        format_table(
+            ["N", "method", "X.lo", "X.hi", "solve_s", "cache"],
+            rows,
+            title=f"Population sweep ({args.method}), "
+            f"{runner.last_wall_time_s:.2f}s wall",
+        )
+    )
+    hits = sum(1 for r in results if r.from_cache)
+    print(f"cache: {hits}/{len(results)} points served from cache")
+    stats = runner.registry.cache_stats()
+    if stats and (stats["memory_hits"] or stats["disk_hits"] or stats["misses"]):
+        print(f"local-registry stats: {stats}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,73 @@
+"""ResultCache: tier behavior, stats, eviction, atomicity."""
+
+import json
+
+from repro.runtime import ResultCache
+
+
+class TestMemoryTier:
+    def test_roundtrip_and_stats(self, tmp_path):
+        c = ResultCache(directory=tmp_path)
+        assert c.get("k") is None
+        c.put("k", {"v": 1})
+        assert c.get("k") == {"v": 1}
+        assert c.stats.misses == 1
+        assert c.stats.memory_hits == 1
+        assert c.stats.puts == 1
+
+    def test_memory_only_mode(self):
+        c = ResultCache(directory=None)
+        c.put("k", {"v": 2})
+        assert c.get("k") == {"v": 2}
+        assert len(c) == 1
+
+    def test_lru_eviction(self):
+        c = ResultCache(directory=None, max_memory_entries=2)
+        c.put("a", {})
+        c.put("b", {})
+        c.put("c", {})
+        assert c.stats.memory_evictions == 1
+        assert "a" not in c and "b" in c and "c" in c
+
+
+class TestDiskTier:
+    def test_survives_new_instance(self, tmp_path):
+        ResultCache(directory=tmp_path).put("key", {"x": [1.5, 2.5]})
+        fresh = ResultCache(directory=tmp_path)
+        assert fresh.get("key") == {"x": [1.5, 2.5]}
+        assert fresh.stats.disk_hits == 1
+        # promoted to memory: second read is a memory hit
+        fresh.get("key")
+        assert fresh.stats.memory_hits == 1
+
+    def test_disk_eviction_drops_oldest(self, tmp_path):
+        c = ResultCache(directory=tmp_path, max_disk_entries=3)
+        for i in range(5):
+            path = tmp_path / f"k{i}.json"
+            c.put(f"k{i}", {"i": i})
+            # make mtimes strictly ordered regardless of filesystem resolution
+            import os
+
+            os.utime(path, (i, i))
+        c.put("k5", {"i": 5})
+        assert c.stats.disk_evictions >= 2
+        assert len(list(tmp_path.glob("*.json"))) <= 3
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        c = ResultCache(directory=tmp_path)
+        (tmp_path / "bad.json").write_text("{not json")
+        assert c.get("bad") is None
+        assert c.stats.misses == 1
+
+    def test_clear(self, tmp_path):
+        c = ResultCache(directory=tmp_path)
+        c.put("k", {})
+        c.clear()
+        assert c.get("k") is None
+        assert list(tmp_path.glob("*.json")) == []
+
+    def test_disk_payload_is_plain_json(self, tmp_path):
+        c = ResultCache(directory=tmp_path)
+        c.put("k", {"a": 1})
+        with open(tmp_path / "k.json") as fh:
+            assert json.load(fh) == {"a": 1}

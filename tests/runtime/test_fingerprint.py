@@ -1,0 +1,86 @@
+"""Fingerprint canonicality: equality, sensitivity, cross-process stability."""
+
+import subprocess
+import sys
+import textwrap
+
+import numpy as np
+import pytest
+
+from repro.maps import exponential, fit_map2
+from repro.network import ClosedNetwork, queue
+from repro.runtime import FingerprintError, fingerprint_network, fingerprint_solve
+
+ROUTING = np.array([[0.0, 1.0], [1.0, 0.0]])
+
+
+def tandem(N=4, scv=4.0):
+    return ClosedNetwork(
+        [queue("a", fit_map2(1.0, scv, 0.4)), queue("b", exponential(1.4))],
+        ROUTING,
+        N,
+    )
+
+
+class TestEquality:
+    def test_same_model_same_digest(self):
+        assert fingerprint_network(tandem()) == fingerprint_network(tandem())
+
+    def test_population_changes_digest(self):
+        assert fingerprint_network(tandem(4)) != fingerprint_network(tandem(5))
+
+    def test_service_process_changes_digest(self):
+        assert fingerprint_network(tandem(scv=4.0)) != fingerprint_network(
+            tandem(scv=4.01)
+        )
+
+    def test_method_and_opts_enter_solve_digest(self):
+        net = tandem()
+        a = fingerprint_solve(net, "lp", {"triples": True})
+        b = fingerprint_solve(net, "lp", {"triples": False})
+        c = fingerprint_solve(net, "exact", {"triples": True})
+        assert len({a, b, c}) == 3
+
+    def test_opts_order_irrelevant(self):
+        net = tandem()
+        a = fingerprint_solve(net, "sim", {"rng": 1, "horizon_events": 10})
+        b = fingerprint_solve(net, "sim", {"horizon_events": 10, "rng": 1})
+        assert a == b
+
+    def test_nested_opts_supported(self):
+        net = tandem()
+        fp = fingerprint_solve(net, "lp", {"metrics": ("utilization[0]", "response_time")})
+        assert len(fp) == 64
+
+
+class TestUncacheable:
+    def test_non_serializable_opts_raise(self):
+        with pytest.raises(FingerprintError):
+            fingerprint_solve(tandem(), "sim", {"rng": np.random.default_rng(3)})
+
+
+class TestCrossProcessStability:
+    def test_digest_survives_process_restart(self):
+        """The same model hashed in a fresh interpreter gives the same key —
+        the property the on-disk cache tier rests on."""
+        net = tandem()
+        here = fingerprint_solve(net, "lp", {"triples": False})
+        script = textwrap.dedent(
+            """
+            import numpy as np
+            from repro.maps import exponential, fit_map2
+            from repro.network import ClosedNetwork, queue
+            from repro.runtime import fingerprint_solve
+            net = ClosedNetwork(
+                [queue("a", fit_map2(1.0, 4.0, 0.4)), queue("b", exponential(1.4))],
+                np.array([[0.0, 1.0], [1.0, 0.0]]),
+                4,
+            )
+            print(fingerprint_solve(net, "lp", {"triples": False}))
+            """
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", script], capture_output=True, text=True, timeout=120
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert proc.stdout.strip() == here

@@ -1,0 +1,84 @@
+"""SweepRunner: ordering, determinism serial vs parallel, shared disk cache."""
+
+import numpy as np
+import pytest
+
+from repro.maps import exponential, fit_map2
+from repro.network import ClosedNetwork, queue
+from repro.runtime import SweepRunner, derive_seed
+
+ROUTING = np.array([[0.0, 1.0], [1.0, 0.0]])
+POPULATIONS = (2, 3, 4, 5)
+
+
+@pytest.fixture()
+def net():
+    return ClosedNetwork(
+        [queue("a", fit_map2(1.0, 4.0, 0.4)), queue("b", exponential(1.4))],
+        ROUTING,
+        POPULATIONS[0],
+    )
+
+
+def _signature(results):
+    """Bit-exact value tuple of a sweep (throughput interval endpoints)."""
+    return [
+        (r.system_throughput.lower, r.system_throughput.upper, r.population)
+        for r in results
+    ]
+
+
+class TestDeriveSeed:
+    def test_deterministic_and_distinct(self):
+        seeds = [derive_seed(123, i) for i in range(32)]
+        assert seeds == [derive_seed(123, i) for i in range(32)]
+        assert len(set(seeds)) == 32
+
+    def test_base_seed_enters(self):
+        assert derive_seed(1, 0) != derive_seed(2, 0)
+
+
+class TestOrderingAndDeterminism:
+    def test_results_in_input_order(self, net, tmp_path):
+        runner = SweepRunner(cache_dir=tmp_path)
+        res = runner.population_sweep(net, POPULATIONS, method="exact", workers=1)
+        assert [r.population for r in res] == list(POPULATIONS)
+
+    def test_sim_sweep_serial_equals_parallel(self, net, tmp_path):
+        """The acceptance property: same base seed => bit-identical results,
+        whichever executor ran the points."""
+        serial = SweepRunner(cache_dir=None).population_sweep(
+            net, POPULATIONS, method="sim", base_seed=7, workers=1,
+            horizon_events=10_000, warmup_events=1_000,
+        )
+        parallel = SweepRunner(cache_dir=None).population_sweep(
+            net, POPULATIONS, method="sim", base_seed=7, workers=2,
+            horizon_events=10_000, warmup_events=1_000,
+        )
+        assert _signature(serial) == _signature(parallel)
+
+    def test_lp_sweep_serial_equals_parallel(self, net, tmp_path):
+        serial = SweepRunner(cache_dir=None).population_sweep(
+            net, POPULATIONS, method="lp", workers=1
+        )
+        parallel = SweepRunner(cache_dir=None).population_sweep(
+            net, POPULATIONS, method="lp", workers=2
+        )
+        assert _signature(serial) == _signature(parallel)
+
+
+class TestSweepCache:
+    def test_parallel_workers_populate_shared_disk_cache(self, net, tmp_path):
+        runner = SweepRunner(cache_dir=tmp_path)
+        first = runner.population_sweep(net, POPULATIONS, method="lp", workers=2)
+        assert not any(r.from_cache for r in first)
+        # rerun serially in this process: every point is a disk hit
+        second = runner.population_sweep(net, POPULATIONS, method="lp", workers=1)
+        assert all(r.from_cache for r in second)
+        assert _signature(first) == _signature(second)
+
+    def test_cache_disabled(self, net):
+        runner = SweepRunner(cache_dir=None)
+        runner.population_sweep(net, POPULATIONS[:2], method="aba", workers=1)
+        res = runner.population_sweep(net, POPULATIONS[:2], method="aba", workers=1)
+        assert not any(r.from_cache for r in res)

@@ -32,6 +32,7 @@ def _load(name: str):
         "custom_map_fitting",
         "trace_driven_fitting",
         "resource_allocation",
+        "parallel_sweep",
     ],
 )
 def test_example_imports_and_has_main(name):

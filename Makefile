@@ -1,0 +1,21 @@
+# Convenience targets; the CI workflow runs the same commands.
+
+PYTHON ?= python
+
+.PHONY: test lint docs docs-serve clean
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+lint:
+	ruff check src tests benchmarks examples docs
+
+docs:
+	$(PYTHON) docs/gen_gallery.py
+	mkdocs build --strict
+
+docs-serve: docs
+	mkdocs serve
+
+clean:
+	rm -rf site .repro-cache .pytest_cache

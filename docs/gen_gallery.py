@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Generate the scenario gallery page from the live ScenarioRegistry.
+
+Writes ``docs/scenarios.md`` (or the path given as the first argument)
+by iterating the registered scenarios — the gallery is never hand
+written, so it cannot drift from the catalog.  Run it before building
+the site:
+
+    python docs/gen_gallery.py && mkdocs build --strict
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+HEADER = """\
+# Scenario gallery
+
+<!-- GENERATED FILE — do not edit.  Regenerate with:
+     python docs/gen_gallery.py -->
+
+Every scenario below is registered in `repro.scenarios.catalog` and this
+page is generated from the registry itself (`docs/gen_gallery.py`).
+Solve any of them with:
+
+```bash
+python -m repro.scenarios solve <name> --method lp
+```
+
+"""
+
+
+def render_scenario(sc) -> str:
+    """Markdown section for one scenario."""
+    net = sc.network()
+    lines = [f"## `{sc.name}`", ""]
+    lines.append(f"**{sc.summary}**")
+    lines.append("")
+    meta = [f"paper: {sc.paper_ref}"] if sc.paper_ref else []
+    if sc.tags:
+        meta.append("tags: " + ", ".join(sc.tags))
+    if meta:
+        lines.append(" — ".join(meta))
+        lines.append("")
+    lines.append(sc.description)
+    lines.append("")
+    lines.append(
+        f"Model: {net.n_stations} stations, default population "
+        f"{sc.default_population}, suggested sweep "
+        f"{list(sc.populations)}."
+    )
+    lines.append("")
+    if sc.defaults:
+        lines.append("| parameter | default |")
+        lines.append("| --- | --- |")
+        for key, value in sc.defaults.items():
+            lines.append(f"| `{key}` | `{value!r}` |")
+        lines.append("")
+    lines.append("```bash")
+    lines.append(f"python -m repro.scenarios show {sc.name}")
+    lines.append(f"python -m repro.scenarios solve {sc.name} --method mva")
+    lines.append("```")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def generate() -> str:
+    """Full gallery page text."""
+    from repro.scenarios import get_scenario_registry
+
+    registry = get_scenario_registry()
+    parts = [HEADER]
+    parts.append(
+        f"**{len(registry)} scenarios registered.**\n"
+    )
+    for sc in registry:
+        parts.append(render_scenario(sc))
+    return "\n".join(parts)
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """Write the gallery page and report where it went."""
+    argv = sys.argv[1:] if argv is None else argv
+    out = Path(argv[0]) if argv else Path(__file__).parent / "scenarios.md"
+    # allow running from a source checkout without installation
+    src = Path(__file__).resolve().parent.parent / "src"
+    if src.is_dir() and str(src) not in sys.path:
+        sys.path.insert(0, str(src))
+    text = generate()
+    out.write_text(text, encoding="utf-8")
+    print(f"wrote {out} ({len(text.splitlines())} lines)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

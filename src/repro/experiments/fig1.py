@@ -12,14 +12,15 @@ significantly positive, slowly-decaying ACF on front/DB flows.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 import numpy as np
 
 from repro.analysis.acf import sample_acf
 from repro.experiments.common import ExperimentResult
 from repro.runtime import get_registry
-from repro.workloads.tpcw import TpcwParameters, tpcw_flow_taps, tpcw_model
+from repro.scenarios import get_scenario
+from repro.workloads.tpcw import TpcwParameters, tpcw_flow_taps
 
 __all__ = ["Fig1Config", "run", "main"]
 
@@ -48,7 +49,9 @@ class Fig1Config:
 def run(config: Fig1Config | None = None) -> ExperimentResult:
     """Simulate the TPC-W model and estimate per-flow interarrival ACFs."""
     cfg = config or Fig1Config.small()
-    net = tpcw_model(cfg.browsers, cfg.params)
+    net = get_scenario("tpcw").network(
+        population=cfg.browsers, **asdict(cfg.params)
+    )
     taps = tpcw_flow_taps()
     # Routed through the registry for uniformity; the live taps make the
     # call non-fingerprintable, so it transparently bypasses the cache

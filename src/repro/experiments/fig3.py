@@ -19,13 +19,14 @@ think time).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 import numpy as np
 
 from repro.experiments.common import ExperimentResult, cache_stats_delta
 from repro.runtime import get_registry
-from repro.workloads.tpcw import CLIENT, DB, FRONT, TpcwParameters, tpcw_model
+from repro.scenarios import get_scenario
+from repro.workloads.tpcw import CLIENT, DB, FRONT, TpcwParameters
 
 __all__ = ["Fig3Config", "run", "main"]
 
@@ -56,10 +57,11 @@ def run(config: Fig3Config | None = None) -> ExperimentResult:
     cfg = config or Fig3Config.small()
     Z = cfg.params.think_time
     registry = get_registry()
+    tpcw = get_scenario("tpcw")
     stats0 = registry.cache_stats()
     rows = []
     for N in cfg.browsers:
-        net = tpcw_model(N, cfg.params)
+        net = tpcw.network(population=N, **asdict(cfg.params))
         sim = registry.solve(
             net,
             "sim",
@@ -71,7 +73,10 @@ def run(config: Fig3Config | None = None) -> ExperimentResult:
         R_meas = N / sim.throughput_point(CLIENT) - Z
 
         no_acf = registry.solve(
-            tpcw_model(N, cfg.params.with_burstiness("none")),
+            get_scenario("tpcw-no-acf").network(
+                population=N,
+                **asdict(cfg.params.with_burstiness("none")),
+            ),
             "mva",
             reference=CLIENT,
         )

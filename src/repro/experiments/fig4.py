@@ -16,14 +16,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.experiments.common import ExperimentResult, cache_stats_delta
-from repro.maps.builders import exponential
-from repro.maps.fitting import fit_map2
 from repro.network.model import ClosedNetwork
-from repro.network.stations import queue
 from repro.runtime import SweepRunner, get_registry
+from repro.scenarios import get_scenario
 
 __all__ = ["Fig4Config", "tandem_network", "run", "main"]
 
@@ -49,15 +45,13 @@ class Fig4Config:
 
 
 def tandem_network(N: int, cfg: Fig4Config) -> ClosedNetwork:
-    """Two-queue closed tandem; queue 1 has autocorrelated MAP(2) service."""
-    routing = np.array([[0.0, 1.0], [1.0, 0.0]])
-    return ClosedNetwork(
-        [
-            queue("q1", fit_map2(cfg.service_mean_1, cfg.scv, cfg.gamma2)),
-            queue("q2", exponential(1.0 / cfg.service_mean_2)),
-        ],
-        routing,
-        N,
+    """The ``bursty-tandem`` scenario at this config's parameters."""
+    return get_scenario("bursty-tandem").network(
+        population=N,
+        scv=cfg.scv,
+        gamma2=cfg.gamma2,
+        service_mean_1=cfg.service_mean_1,
+        service_mean_2=cfg.service_mean_2,
     )
 
 

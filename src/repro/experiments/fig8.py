@@ -21,21 +21,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.experiments.common import ExperimentResult, cache_stats_delta
-from repro.maps.builders import exponential
-from repro.maps.fitting import fit_map2
 from repro.network.model import ClosedNetwork
-from repro.network.stations import queue
 from repro.runtime import SweepRunner, get_registry
+from repro.scenarios import get_scenario
 
-__all__ = ["Fig8Config", "fig5_network", "run", "main"]
+#: Routing of the paper's Figure 5 example network (re-exported from the
+#: scenario catalog, where the model now lives).
+from repro.scenarios.catalog import FIG5_ROUTING
 
-#: Routing of the paper's Figure 5 example network.
-FIG5_ROUTING = np.array(
-    [[0.2, 0.7, 0.1], [1.0, 0.0, 0.0], [1.0, 0.0, 0.0]]
-)
+__all__ = ["Fig8Config", "FIG5_ROUTING", "fig5_network", "run", "main"]
 
 
 @dataclass(frozen=True)
@@ -61,16 +56,15 @@ class Fig8Config:
 
 
 def fig5_network(N: int, cfg: Fig8Config | None = None) -> ClosedNetwork:
-    """The example network of the paper's Figure 5 with N jobs."""
+    """The ``fig5-case-study`` scenario at this config's parameters."""
     cfg = cfg or Fig8Config()
-    return ClosedNetwork(
-        [
-            queue("q1", exponential(1.0 / cfg.service_mean_1)),
-            queue("q2", exponential(1.0 / cfg.service_mean_2)),
-            queue("q3", fit_map2(cfg.service_mean_3, cfg.cv**2, cfg.gamma2)),
-        ],
-        FIG5_ROUTING,
-        N,
+    return get_scenario("fig5-case-study").network(
+        population=N,
+        cv=cfg.cv,
+        gamma2=cfg.gamma2,
+        service_mean_1=cfg.service_mean_1,
+        service_mean_2=cfg.service_mean_2,
+        service_mean_3=cfg.service_mean_3,
     )
 
 

@@ -19,10 +19,10 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.experiments.common import ExperimentResult, cache_stats_delta
-from repro.maps.random import RandomMap2Config, random_exponential, random_map2
+from repro.maps.random import RandomMap2Config
 from repro.network.model import ClosedNetwork
-from repro.network.stations import queue
 from repro.runtime import get_registry
+from repro.scenarios import get_scenario
 from repro.utils.rng import as_rng
 
 __all__ = ["Table1Config", "random_model", "run", "main"]
@@ -48,21 +48,17 @@ class Table1Config:
 
 
 def random_model(rng, cfg: Table1Config, population: int) -> ClosedNetwork:
-    """One random 3-queue model in the paper's style."""
-    gen = as_rng(rng)
-    stations = []
-    for i in range(3):
-        if gen.random() < cfg.map_probability:
-            service = random_map2(rng=gen, config=cfg.map_config)
-        else:
-            service = random_exponential(rng=gen)
-        stations.append(queue(f"q{i + 1}", service))
-    while True:
-        routing = gen.dirichlet(np.ones(3), size=3)
-        try:
-            return ClosedNetwork(stations, routing, population)
-        except Exception:
-            continue  # redraw on (rare) degenerate routing
+    """One draw of the ``random-3q`` scenario in the paper's style.
+
+    Passing the shared generator ``rng`` draws successive distinct models
+    from one stream, matching the paper's protocol.
+    """
+    return get_scenario("random-3q").network(
+        population=population,
+        rng=as_rng(rng),
+        map_probability=cfg.map_probability,
+        map_config=cfg.map_config,
+    )
 
 
 def run(config: Table1Config | None = None) -> ExperimentResult:

@@ -49,6 +49,7 @@ class TraceStats:
 
     @property
     def cv(self) -> float:
+        """Coefficient of variation (sqrt of the SCV)."""
         return float(np.sqrt(self.scv))
 
 
@@ -131,6 +132,7 @@ class FitReport:
 
     @property
     def used_fallback(self) -> bool:
+        """True when the requested fit failed and a simpler one was used."""
         return self.fallback_reason is not None
 
 

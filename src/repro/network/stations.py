@@ -64,6 +64,7 @@ class Station:
 
     @property
     def is_load_dependent(self) -> bool:
+        """True for delay/multiserver stations (rate scales with occupancy)."""
         return self.kind != "queue"
 
     def rate_scale(self, n: "int | np.ndarray") -> "float | np.ndarray":

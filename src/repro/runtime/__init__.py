@@ -12,6 +12,9 @@ The runtime layer makes ``solve(model, method)`` a first-class operation:
   with hit/miss stats and bounded eviction;
 * :class:`~repro.runtime.sweep.SweepRunner` — deterministic parallel
   parameter sweeps over process pools;
+* :class:`~repro.runtime.sweep.SweepSpec` — declarative, scenario-aware
+  sweep documents (resolved through :mod:`repro.scenarios`), fingerprinted
+  by the *compiled* models;
 * :class:`~repro.runtime.batch.BatchLPSolver` — one constraint assembly
   shared by all metric min/max pairs of a model.
 
@@ -35,9 +38,10 @@ from repro.runtime.fingerprint import (
     FingerprintError,
     fingerprint_network,
     fingerprint_solve,
+    fingerprint_sweep,
 )
 from repro.runtime.registry import SolveResult, SolverRegistry
-from repro.runtime.sweep import SweepRunner, derive_seed
+from repro.runtime.sweep import SweepRunner, SweepSpec, derive_seed
 
 __all__ = [
     "BatchLPSolver",
@@ -47,11 +51,13 @@ __all__ = [
     "SolveResult",
     "SolverRegistry",
     "SweepRunner",
+    "SweepSpec",
     "configure",
     "default_cache_dir",
     "derive_seed",
     "fingerprint_network",
     "fingerprint_solve",
+    "fingerprint_sweep",
     "get_registry",
     "solve",
 ]

@@ -41,14 +41,17 @@ class CacheStats:
 
     @property
     def hits(self) -> int:
+        """Total cache hits across both tiers."""
         return self.memory_hits + self.disk_hits
 
     @property
     def hit_rate(self) -> float:
+        """Hits over lookups (0.0 when nothing was looked up)."""
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
     def as_dict(self) -> dict:
+        """Counters as a plain dict (for logging and metadata)."""
         return {
             "memory_hits": self.memory_hits,
             "disk_hits": self.disk_hits,

@@ -21,7 +21,12 @@ import numpy as np
 
 from repro.network.model import ClosedNetwork
 
-__all__ = ["FingerprintError", "fingerprint_network", "fingerprint_solve"]
+__all__ = [
+    "FingerprintError",
+    "fingerprint_network",
+    "fingerprint_solve",
+    "fingerprint_sweep",
+]
 
 #: Bump to invalidate every existing cache entry (schema/solver semantics).
 SCHEMA_VERSION = 1
@@ -110,3 +115,53 @@ def fingerprint_solve(
         "opts": dict(opts),
     }
     return hashlib.sha256(_canon(tree)).hexdigest()
+
+
+def fingerprint_sweep(
+    networks: "list[ClosedNetwork] | tuple[ClosedNetwork, ...]",
+    method: str,
+    opts: dict[str, Any] | None = None,
+    per_point_opts: "list[dict[str, Any]] | None" = None,
+) -> str:
+    """Hex digest identifying a whole sweep (order-sensitive).
+
+    The digest covers the per-point solve fingerprints, so two sweeps
+    match exactly when every point would hit the same cache entries —
+    scenario-declared sweeps (:class:`~repro.runtime.sweep.SweepSpec`) and
+    hand-built network lists that compile to the same models are
+    identified.
+
+    Parameters
+    ----------
+    networks:
+        The per-point models, in sweep order.
+    method:
+        Registered solver method name.
+    opts:
+        Solver options shared by every point (ignored when
+        ``per_point_opts`` is given).
+    per_point_opts:
+        Per-point option dicts, one per network — used by
+        :meth:`~repro.runtime.sweep.SweepSpec.fingerprint` to mix the
+        derived per-point ``rng`` seeds of stochastic methods into the
+        digest, mirroring the cache keys the runner would actually use.
+
+    Returns
+    -------
+    str
+        SHA-256 hex digest.
+    """
+    if per_point_opts is None:
+        per_point_opts = [dict(opts or {})] * len(networks)
+    elif len(per_point_opts) != len(networks):
+        raise ValueError(
+            f"per_point_opts has {len(per_point_opts)} entries for "
+            f"{len(networks)} networks"
+        )
+    keys = [
+        fingerprint_solve(net, method, dict(o))
+        for net, o in zip(networks, per_point_opts)
+    ]
+    return hashlib.sha256(
+        _canon({"schema": SCHEMA_VERSION, "sweep": keys})
+    ).hexdigest()

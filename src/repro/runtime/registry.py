@@ -91,12 +91,15 @@ class SolveResult:
         return iv
 
     def utilization_interval(self, k: int) -> Interval:
+        """Certified utilization interval of station ``k``."""
         return self._station_metric("utilization", k)
 
     def throughput_interval(self, k: int) -> Interval:
+        """Certified throughput interval of station ``k``."""
         return self._station_metric("throughput", k)
 
     def queue_length_interval(self, k: int) -> Interval:
+        """Certified mean-queue-length interval of station ``k``."""
         return self._station_metric("queue_length", k)
 
     def utilization_point(self, k: int) -> float:
@@ -104,17 +107,21 @@ class SolveResult:
         return self._station_metric("utilization", k).midpoint
 
     def throughput_point(self, k: int) -> float:
+        """Midpoint of station ``k``'s throughput interval."""
         return self._station_metric("throughput", k).midpoint
 
     def queue_length_point(self, k: int) -> float:
+        """Midpoint of station ``k``'s mean-queue-length interval."""
         return self._station_metric("queue_length", k).midpoint
 
     def system_throughput_point(self) -> float:
+        """Midpoint of the system-throughput interval."""
         if self.system_throughput is None:
             raise KeyError(f"system throughput not computed by {self.method!r}")
         return self.system_throughput.midpoint
 
     def response_time_point(self) -> float:
+        """Midpoint of the response-time interval."""
         if self.response_time is None:
             raise KeyError(f"response time not computed by {self.method!r}")
         return self.response_time.midpoint
@@ -139,6 +146,7 @@ class SolveResult:
 
     @classmethod
     def from_dict(cls, payload: dict, from_cache: bool = False) -> "SolveResult":
+        """Rebuild a result from its :meth:`to_dict` payload (cache replay)."""
         return cls(
             method=payload["method"],
             station_names=tuple(payload["station_names"]),
@@ -334,8 +342,40 @@ def _solve_qbd(network: ClosedNetwork, reference: int = 0) -> SolveResult:
     )
 
 
-def _solve_mva(network: ClosedNetwork, reference: int = 0) -> SolveResult:
-    res = mva(network)
+def _solve_mva(
+    network: ClosedNetwork, reference: int = 0, substitute_maps: bool = True
+) -> SolveResult:
+    """Exact MVA; MAP stations get the explicit "no-ACF" substitution.
+
+    MVA is only defined for product-form (exponential) networks.  When the
+    model has MAP stations and ``substitute_maps`` is true (the default),
+    each one is replaced by an exponential station with the same mean —
+    exactly the paper's "no-ACF model" methodology of Figure 3, i.e. the
+    answer a product-form capacity-planning tool would give.  The
+    substituted station indices are recorded in
+    ``extra["map_stations_substituted"]`` so the approximation is never
+    silent; pass ``substitute_maps=False`` to get the strict behaviour
+    (:class:`~repro.utils.errors.ValidationError` on MAP stations).
+    """
+    target = network
+    substituted: list[int] = []
+    if substitute_maps:
+        from repro.maps.builders import exponential
+        from repro.network.stations import Station
+
+        for k, st in enumerate(network.stations):
+            if st.phases > 1:
+                target = target.with_station(
+                    k,
+                    Station(
+                        name=st.name,
+                        service=exponential(1.0 / st.mean_service_time),
+                        kind=st.kind,
+                        servers=st.servers,
+                    ),
+                )
+                substituted.append(k)
+    res = mva(target)
     x_ref = float(res.throughput[reference])
     return _make_result(
         network,
@@ -345,7 +385,10 @@ def _solve_mva(network: ClosedNetwork, reference: int = 0) -> SolveResult:
         [_pt(qv) for qv in res.queue_length],
         _pt(x_ref),
         _pt(network.population / x_ref),
-        extra={"product_form": True},
+        extra={
+            "product_form": not substituted,
+            "map_stations_substituted": substituted,
+        },
     )
 
 

@@ -25,21 +25,142 @@ from __future__ import annotations
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
-from typing import Sequence
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
 
 import numpy as np
 
 from repro.network.model import ClosedNetwork
 from repro.runtime.cache import ResultCache, default_cache_dir
+from repro.runtime.fingerprint import fingerprint_sweep
 from repro.runtime.registry import SolveResult, SolverRegistry
 
-__all__ = ["SweepRunner", "derive_seed"]
+__all__ = ["SweepRunner", "SweepSpec", "derive_seed"]
 
 
 def derive_seed(base_seed: int, index: int) -> int:
     """Deterministic, well-mixed per-point seed from ``(base_seed, index)``."""
     seq = np.random.SeedSequence([int(base_seed), int(index)])
     return int(seq.generate_state(1, dtype=np.uint64)[0] >> 1)
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A declarative, scenario-aware sweep: *what* to solve, not *how*.
+
+    Names a registered scenario (see :mod:`repro.scenarios`) plus the
+    population sweep, solver method, and options — everything needed to
+    reproduce a figure's computation from a YAML-able document.  The spec
+    is content-addressed: :meth:`fingerprint` hashes the *compiled* models,
+    so two specs that build identical networks are identified regardless
+    of scenario naming.
+
+    Attributes
+    ----------
+    scenario:
+        Name of a scenario in the default scenario registry.
+    populations:
+        Job populations to sweep, in order.
+    method:
+        Registered solver method (``lp``, ``exact``, ``mva``, ...).
+    params:
+        Scenario parameter overrides (validated by the scenario).
+    opts:
+        Solver options forwarded to every point solve.  Runner-level
+        controls (``cache``, ``workers``, ``base_seed``) are rejected
+        here — pass them to :meth:`SweepRunner.run_spec` / this class's
+        ``base_seed`` field instead.
+    base_seed:
+        Per-point seed derivation base for stochastic methods.
+    """
+
+    #: Option names owned by the runner, not the solver adapters.
+    _RESERVED_OPTS = ("cache", "workers", "base_seed")
+
+    scenario: str
+    populations: tuple[int, ...]
+    method: str = "lp"
+    params: Mapping[str, Any] = field(default_factory=dict)
+    opts: Mapping[str, Any] = field(default_factory=dict)
+    base_seed: int | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "populations", tuple(int(n) for n in self.populations))
+        object.__setattr__(self, "params", dict(self.params))
+        object.__setattr__(self, "opts", dict(self.opts))
+        if not self.populations:
+            raise ValueError("SweepSpec needs at least one population")
+        clashes = [k for k in self._RESERVED_OPTS if k in self.opts]
+        if clashes:
+            raise ValueError(
+                f"SweepSpec.opts may not contain runner controls {clashes}; "
+                "pass cache=/workers= to run_spec() and seeds via base_seed"
+            )
+
+    def networks(self) -> list[ClosedNetwork]:
+        """Compile the per-point models through the scenario registry."""
+        from repro.scenarios import get_scenario  # lazy: avoids an import cycle
+
+        sc = get_scenario(self.scenario)
+        return [sc.network(population=n, **self.params) for n in self.populations]
+
+    def _seeds_points(self) -> bool:
+        """Whether the runner would derive per-point rng seeds for this spec.
+
+        Mirrors :meth:`SweepRunner.run`: seeds are derived only for
+        stochastic methods, only when ``base_seed`` is set, and only when
+        the caller did not pin ``rng`` in ``opts``.  Unknown (custom)
+        methods are conservatively treated as stochastic so their seeds
+        are never silently dropped from the digest.
+        """
+        if self.base_seed is None or "rng" in self.opts:
+            return False
+        try:
+            return SolverRegistry(cache=None).is_stochastic(self.method)
+        except KeyError:
+            return True
+
+    def fingerprint(self) -> str:
+        """Content digest of the whole sweep (see :func:`fingerprint_sweep`).
+
+        For stochastic methods the derived per-point ``rng`` seeds enter
+        the digest — exactly the options the runner's cache keys use — so
+        two specs share a fingerprint iff every point would hit the same
+        cache entries.
+        """
+        nets = self.networks()
+        per_point = None
+        if self._seeds_points():
+            per_point = [
+                {**self.opts, "rng": derive_seed(self.base_seed, i)}
+                for i in range(len(nets))
+            ]
+        return fingerprint_sweep(
+            nets, self.method, dict(self.opts), per_point_opts=per_point
+        )
+
+    def to_dict(self) -> dict:
+        """JSON/YAML-serializable form (inverse of :meth:`from_dict`)."""
+        return {
+            "scenario": self.scenario,
+            "populations": list(self.populations),
+            "method": self.method,
+            "params": dict(self.params),
+            "opts": dict(self.opts),
+            "base_seed": self.base_seed,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "SweepSpec":
+        """Build a spec from a parsed JSON/YAML document."""
+        return cls(
+            scenario=payload["scenario"],
+            populations=tuple(payload["populations"]),
+            method=payload.get("method", "lp"),
+            params=dict(payload.get("params", {})),
+            opts=dict(payload.get("opts", {})),
+            base_seed=payload.get("base_seed"),
+        )
 
 
 # Per-process registry (workers are forked/spawned without parent state).
@@ -167,11 +288,33 @@ class SweepRunner:
         nets = [base_network.with_population(int(n)) for n in populations]
         return self.run(nets, method, **kwargs)
 
+    def run_spec(
+        self,
+        spec: SweepSpec,
+        workers: int | None = None,
+        cache: bool = True,
+    ) -> list[SolveResult]:
+        """Execute a declarative :class:`SweepSpec`, results in spec order.
+
+        The scenario is resolved through the default scenario registry,
+        the per-point models are compiled once, and the solves fan across
+        workers exactly like :meth:`run`.
+        """
+        return self.run(
+            spec.networks(),
+            spec.method,
+            base_seed=spec.base_seed,
+            workers=workers,
+            cache=cache,
+            **dict(spec.opts),
+        )
+
 
 # ---------------------------------------------------------------------- #
 # CLI demo: cached, parallel population sweep on the Figure 5 network
 # ---------------------------------------------------------------------- #
 def main(argv: "list[str] | None" = None) -> None:  # pragma: no cover - CLI
+    """CLI demo: cached, parallel population sweep on the Fig. 5 network."""
     import argparse
 
     from repro.experiments.fig8 import fig5_network

@@ -1,0 +1,77 @@
+"""repro.scenarios — declarative scenario layer over the solver runtime.
+
+The paper's pitch is *versatility*: MAP queueing networks as one modeling
+language for many system scenarios.  This package makes that operational:
+
+* :class:`~repro.scenarios.builder.NetworkBuilder` — fluent construction
+  of closed MAP networks by station name;
+* :mod:`~repro.scenarios.spec` — declarative dict/YAML specs that compile
+  to :class:`~repro.network.model.ClosedNetwork` and render back losslessly;
+* :class:`~repro.scenarios.registry.Scenario` /
+  :class:`~repro.scenarios.registry.ScenarioRegistry` — named,
+  parameterized model families with documented defaults;
+* :mod:`~repro.scenarios.catalog` — the built-in catalog: TPC-W tiers,
+  bursty vs Poisson tandems, the Figure 5 case study, hyperexponential and
+  load-skewed central servers, SCV/gamma2 parameter families, stress
+  populations, and the Table 1 random-model protocol;
+* a CLI: ``python -m repro.scenarios list|show|render|solve|sweep``.
+
+Every scenario solves through the :mod:`repro.runtime` registry, so
+results are content-fingerprinted, cached, and sweepable for free.
+
+Quickstart::
+
+    from repro import scenarios
+
+    sc = scenarios.get_scenario("fig5-case-study")
+    net = sc.network(population=120)               # ClosedNetwork
+    from repro import runtime
+    res = runtime.solve(net, method="lp")          # cached LP bounds
+
+    spec = sc.spec()                               # declarative dict
+    net2 = scenarios.network_from_spec(spec)       # same fingerprint
+"""
+
+from __future__ import annotations
+
+from repro.scenarios.builder import NetworkBuilder
+from repro.scenarios.registry import Scenario, ScenarioRegistry
+from repro.scenarios.spec import (
+    dump_spec,
+    load_spec,
+    network_from_spec,
+    network_to_spec,
+    service_from_spec,
+    service_to_spec,
+)
+
+__all__ = [
+    "NetworkBuilder",
+    "Scenario",
+    "ScenarioRegistry",
+    "dump_spec",
+    "get_scenario",
+    "get_scenario_registry",
+    "load_spec",
+    "network_from_spec",
+    "network_to_spec",
+    "service_from_spec",
+    "service_to_spec",
+]
+
+_default_registry: ScenarioRegistry | None = None
+
+
+def get_scenario_registry() -> ScenarioRegistry:
+    """The process-wide scenario registry, catalog-populated on first use."""
+    global _default_registry
+    if _default_registry is None:
+        from repro.scenarios.catalog import populate
+
+        _default_registry = populate(ScenarioRegistry())
+    return _default_registry
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up a scenario in the default registry by name."""
+    return get_scenario_registry().get(name)

@@ -1,0 +1,6 @@
+"""``python -m repro.scenarios`` — delegate to the CLI."""
+
+from repro.scenarios.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

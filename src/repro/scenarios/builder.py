@@ -1,0 +1,266 @@
+"""Fluent construction of closed MAP queueing networks.
+
+:class:`NetworkBuilder` is the programmatic twin of the declarative spec
+format (:mod:`repro.scenarios.spec`): stations are declared by name with
+either a ready :class:`~repro.maps.map.MAP`, a distribution spec dict, or
+plain ``mean=``/``rate=`` shorthand for exponential service; routing is
+declared edge-by-edge (or as a cycle) by station *name*, and ``build()``
+assembles and validates the :class:`~repro.network.model.ClosedNetwork`.
+
+.. code-block:: python
+
+    net = (
+        NetworkBuilder(population=50)
+        .delay("clients", mean=7.0)
+        .queue("front", service={"dist": "map2", "mean": 0.018,
+                                 "scv": 16.0, "gamma2": 0.8})
+        .queue("db", mean=0.025)
+        .link("clients", "front")
+        .link("front", "clients", 0.5).link("front", "db", 0.5)
+        .link("db", "front")
+        .build()
+    )
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.maps.builders import exponential
+from repro.maps.map import MAP
+from repro.network.model import ClosedNetwork
+from repro.network.stations import Station
+from repro.scenarios.spec import service_from_spec
+from repro.utils.errors import ValidationError
+
+__all__ = ["NetworkBuilder"]
+
+
+class NetworkBuilder:
+    """Incrementally declare a closed network, then ``build()`` it.
+
+    Parameters
+    ----------
+    population:
+        Number of circulating jobs; may also be set (or overridden) later
+        via :meth:`with_population` or the ``build(population=...)``
+        argument.
+
+    Notes
+    -----
+    All mutating methods return ``self`` so declarations chain fluently.
+    Station order (= index order in the compiled network) is declaration
+    order.
+    """
+
+    def __init__(self, population: int | None = None) -> None:
+        self._population = population
+        self._stations: list[Station] = []
+        self._names: dict[str, int] = {}
+        self._links: dict[tuple[str, str], float] = {}
+
+    # ------------------------------------------------------------------ #
+    # stations
+    # ------------------------------------------------------------------ #
+    def _service(
+        self,
+        name: str,
+        service: "MAP | Mapping[str, Any] | None",
+        mean: float | None,
+        rate: float | None,
+    ) -> MAP:
+        """Resolve the service process from the accepted shorthands."""
+        given = sum(x is not None for x in (service, mean, rate))
+        if given != 1:
+            raise ValidationError(
+                f"station {name!r}: give exactly one of service=, mean=, rate= "
+                f"(got {given})"
+            )
+        if service is not None:
+            return service_from_spec(service)
+        if mean is not None:
+            if mean <= 0:
+                raise ValidationError(f"station {name!r}: mean must be positive")
+            return exponential(1.0 / mean)
+        return exponential(rate)
+
+    def _add(self, station: Station) -> "NetworkBuilder":
+        """Append a station, rejecting duplicate names."""
+        if station.name in self._names:
+            raise ValidationError(f"duplicate station name {station.name!r}")
+        self._names[station.name] = len(self._stations)
+        self._stations.append(station)
+        return self
+
+    def station(
+        self,
+        name: str,
+        service: "MAP | Mapping[str, Any] | None" = None,
+        kind: str = "queue",
+        servers: int = 1,
+        mean: float | None = None,
+        rate: float | None = None,
+    ) -> "NetworkBuilder":
+        """Declare a station of any kind.
+
+        Parameters
+        ----------
+        name:
+            Unique station name (used by routing declarations).
+        service:
+            A :class:`~repro.maps.map.MAP` or a distribution spec dict (see
+            :func:`repro.scenarios.spec.service_from_spec`).
+        kind:
+            ``"queue"``, ``"delay"``, or ``"multiserver"``.
+        servers:
+            Server count for ``kind="multiserver"``.
+        mean, rate:
+            Exponential-service shorthand (exactly one of ``service``,
+            ``mean``, ``rate`` must be given).
+
+        Returns
+        -------
+        NetworkBuilder
+            ``self``, for chaining.
+        """
+        svc = self._service(name, service, mean, rate)
+        return self._add(Station(name=name, service=svc, kind=kind, servers=servers))
+
+    def queue(
+        self,
+        name: str,
+        service: "MAP | Mapping[str, Any] | None" = None,
+        mean: float | None = None,
+        rate: float | None = None,
+    ) -> "NetworkBuilder":
+        """Declare a single-server FCFS queue (the paper's station type)."""
+        return self.station(name, service=service, kind="queue", mean=mean, rate=rate)
+
+    def delay(
+        self,
+        name: str,
+        service: "MAP | Mapping[str, Any] | None" = None,
+        mean: float | None = None,
+        rate: float | None = None,
+    ) -> "NetworkBuilder":
+        """Declare an infinite-server (think-time) station."""
+        return self.station(name, service=service, kind="delay", mean=mean, rate=rate)
+
+    def multiserver(
+        self,
+        name: str,
+        servers: int,
+        service: "MAP | Mapping[str, Any] | None" = None,
+        mean: float | None = None,
+        rate: float | None = None,
+    ) -> "NetworkBuilder":
+        """Declare a multi-server FCFS station (exponential service only)."""
+        return self.station(
+            name, service=service, kind="multiserver", servers=servers,
+            mean=mean, rate=rate,
+        )
+
+    # ------------------------------------------------------------------ #
+    # routing
+    # ------------------------------------------------------------------ #
+    def link(self, src: str, dst: str, probability: float = 1.0) -> "NetworkBuilder":
+        """Route jobs completing at ``src`` to ``dst`` with the given probability.
+
+        Probabilities accumulate if the same edge is declared twice; each
+        station's outgoing probabilities must total 1 at :meth:`build` time.
+
+        Parameters
+        ----------
+        src, dst:
+            Station names (must be declared before :meth:`build`).
+        probability:
+            Routing probability in ``(0, 1]``.
+
+        Returns
+        -------
+        NetworkBuilder
+            ``self``, for chaining.
+        """
+        if not 0.0 < probability <= 1.0:
+            raise ValidationError(
+                f"link {src!r}->{dst!r}: probability must be in (0, 1], "
+                f"got {probability}"
+            )
+        self._links[(src, dst)] = self._links.get((src, dst), 0.0) + probability
+        return self
+
+    def cycle(self, *names: str) -> "NetworkBuilder":
+        """Route the named stations in a deterministic loop.
+
+        ``cycle("a", "b", "c")`` declares ``a -> b -> c -> a`` with
+        probability 1 on each hop — the tandem/cyclic topology shorthand.
+
+        Parameters
+        ----------
+        *names:
+            Two or more station names, in visiting order.
+
+        Returns
+        -------
+        NetworkBuilder
+            ``self``, for chaining.
+        """
+        if len(names) < 2:
+            raise ValidationError("cycle() needs at least two station names")
+        for src, dst in zip(names, names[1:] + (names[0],)):
+            self.link(src, dst, 1.0)
+        return self
+
+    # ------------------------------------------------------------------ #
+    # assembly
+    # ------------------------------------------------------------------ #
+    def with_population(self, population: int) -> "NetworkBuilder":
+        """Set (or replace) the job population."""
+        self._population = population
+        return self
+
+    @property
+    def station_names(self) -> tuple[str, ...]:
+        """Names declared so far, in index order."""
+        return tuple(s.name for s in self._stations)
+
+    def build(self, population: int | None = None) -> ClosedNetwork:
+        """Assemble and validate the declared network.
+
+        Parameters
+        ----------
+        population:
+            Overrides the population given at construction time.
+
+        Returns
+        -------
+        ClosedNetwork
+            The validated network.
+
+        Raises
+        ------
+        ValidationError
+            On undeclared stations in links, missing population, or any
+            routing/model validation failure (e.g. rows not summing to 1).
+        """
+        N = population if population is not None else self._population
+        if N is None:
+            raise ValidationError(
+                "population not set: pass NetworkBuilder(population=...) or "
+                "build(population=...)"
+            )
+        if not self._stations:
+            raise ValidationError("no stations declared")
+        M = len(self._stations)
+        P = np.zeros((M, M))
+        for (src, dst), prob in self._links.items():
+            for endpoint in (src, dst):
+                if endpoint not in self._names:
+                    raise ValidationError(
+                        f"link {src!r}->{dst!r} references undeclared station "
+                        f"{endpoint!r}; declared: {list(self._names)}"
+                    )
+            P[self._names[src], self._names[dst]] = prob
+        return ClosedNetwork(self._stations, P, N)

@@ -1,0 +1,286 @@
+"""Command-line interface: ``python -m repro.scenarios``.
+
+Subcommands
+-----------
+``list``
+    Table of registered scenarios (name, stations, tags, summary).
+``show NAME``
+    Full description, defaults, and suggested populations.
+``render NAME``
+    Declarative YAML spec of the compiled model (pipe to a file, edit,
+    and solve it back with ``solve --spec``).
+``solve NAME``
+    Solve one population through the cached solver registry.
+``sweep NAME``
+    Population sweep through :class:`~repro.runtime.sweep.SweepRunner`.
+
+Scenario parameters are overridden with repeated ``-p key=value`` flags
+(values parsed as YAML scalars, so ``-p scv=25`` is a float and
+``-p burstiness=high`` a string).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Any
+
+from repro.scenarios import (
+    get_scenario,
+    get_scenario_registry,
+    load_spec,
+    network_from_spec,
+)
+from repro.utils.tables import format_table
+
+__all__ = ["main"]
+
+
+def _parse_params(pairs: "list[str] | None") -> dict[str, Any]:
+    """Parse repeated ``-p key=value`` flags into a parameter dict."""
+    params: dict[str, Any] = {}
+    for pair in pairs or []:
+        if "=" not in pair:
+            raise SystemExit(f"-p expects key=value, got {pair!r}")
+        key, _, raw = pair.partition("=")
+        try:
+            import yaml
+
+            value = yaml.safe_load(raw)
+        except ImportError:  # pragma: no cover - environment-dependent
+            try:
+                value = float(raw) if "." in raw or "e" in raw.lower() else int(raw)
+            except ValueError:
+                value = raw
+        params[key.strip()] = value
+    return params
+
+
+def _network_for(args: argparse.Namespace):
+    """Resolve the model: a named scenario or an external YAML spec file."""
+    params = _parse_params(getattr(args, "param", None))
+    if getattr(args, "spec", None):
+        if params:
+            raise SystemExit(
+                "-p overrides apply to named scenarios only; edit the spec "
+                "file instead (--population still works with --spec)"
+            )
+        spec = load_spec(args.spec)
+        if args.population is not None:
+            spec = dict(spec, population=args.population)
+        return network_from_spec(spec), spec.get("name", args.spec)
+    sc = get_scenario(args.name)
+    return sc.network(population=args.population, **params), sc.name
+
+
+def _result_rows(res) -> list[list[Any]]:
+    """Flatten a SolveResult into per-station metric rows."""
+    rows = []
+    for k, name in enumerate(res.station_names):
+        cells: list[Any] = [name]
+        for metric in ("utilization", "throughput", "queue_length"):
+            iv = getattr(res, metric)[k]
+            cells += [float("nan"), float("nan")] if iv is None else [iv.lower, iv.upper]
+        rows.append(cells)
+    return rows
+
+
+# --------------------------------------------------------------------- #
+# subcommands
+# --------------------------------------------------------------------- #
+def _cmd_list(args: argparse.Namespace) -> int:
+    """``list``: one row per registered scenario."""
+    registry = get_scenario_registry()
+    scenarios = registry.by_tag(args.tag) if args.tag else tuple(registry)
+    rows = []
+    for sc in scenarios:
+        net = sc.network()
+        rows.append(
+            [sc.name, net.n_stations, sc.default_population,
+             ",".join(sc.tags), sc.summary]
+        )
+    print(format_table(
+        ["name", "M", "N", "tags", "summary"], rows,
+        title=f"{len(rows)} registered scenarios",
+    ))
+    return 0
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    """``show``: full card for one scenario."""
+    sc = get_scenario(args.name)
+    net = sc.network()
+    print(f"{sc.name} — {sc.summary}")
+    if sc.paper_ref:
+        print(f"paper: {sc.paper_ref}")
+    print(f"tags: {', '.join(sc.tags) or '(none)'}")
+    print(f"\n{sc.description}\n")
+    print(f"model: {net!r}")
+    print(f"demands: {[round(float(d), 6) for d in net.service_demands]}")
+    print(f"default population: {sc.default_population}")
+    print(f"suggested sweep: {list(sc.populations)}")
+    if sc.defaults:
+        rows = [[k, repr(v)] for k, v in sc.defaults.items()]
+        print(format_table(["parameter", "default"], rows))
+    print(f"fingerprint: {sc.fingerprint()}")
+    return 0
+
+
+def _cmd_render(args: argparse.Namespace) -> int:
+    """``render``: dump the declarative YAML spec to stdout."""
+    from repro.scenarios import dump_spec
+
+    sc = get_scenario(args.name)
+    params = _parse_params(args.param)
+    sys.stdout.write(dump_spec(sc.spec(population=args.population, **params)))
+    return 0
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    """``solve``: one cached solve, metrics printed as a table."""
+    from repro.runtime import get_registry
+
+    net, label = _network_for(args)
+    res = get_registry().solve(net, args.method, cache=not args.no_cache)
+    title = (
+        f"{label}: N={net.population}, method={res.method}, "
+        f"{res.wall_time_s:.3f}s"
+        + (" (cached)" if res.from_cache else "")
+    )
+    print(format_table(
+        ["station", "U.lo", "U.hi", "X.lo", "X.hi", "Q.lo", "Q.hi"],
+        _result_rows(res),
+        title=title,
+    ))
+    tail = []
+    if res.system_throughput is not None:
+        x = res.system_throughput
+        tail.append(f"system throughput in [{x.lower:.6g}, {x.upper:.6g}]")
+    if res.response_time is not None:
+        r = res.response_time
+        tail.append(f"response time in [{r.lower:.6g}, {r.upper:.6g}]")
+    if tail:
+        print("; ".join(tail))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    """``sweep``: population sweep via SweepRunner.run_spec."""
+    from repro.runtime.sweep import SweepRunner, SweepSpec
+
+    sc = get_scenario(args.name)
+    if args.populations:
+        try:
+            populations = tuple(
+                int(tok) for tok in args.populations.split(",") if tok
+            )
+        except ValueError:
+            raise SystemExit(
+                f"--populations must be comma-separated integers, "
+                f"got {args.populations!r}"
+            )
+    else:
+        populations = sc.populations or (sc.default_population,)
+    spec = SweepSpec(
+        scenario=sc.name,
+        populations=populations,
+        method=args.method,
+        params=_parse_params(args.param),
+        base_seed=args.seed,
+    )
+    runner = SweepRunner()
+    results = runner.run_spec(spec, workers=args.workers, cache=not args.no_cache)
+    rows = []
+    for N, res in zip(populations, results):
+        x = res.system_throughput
+        r = res.response_time
+        rows.append([
+            N,
+            x.lower if x else float("nan"),
+            x.upper if x else float("nan"),
+            r.lower if r else float("nan"),
+            r.upper if r else float("nan"),
+            res.wall_time_s,
+            "hit" if res.from_cache else "miss",
+        ])
+    print(format_table(
+        ["N", "X.lo", "X.hi", "R.lo", "R.hi", "solve_s", "cache"],
+        rows,
+        title=(
+            f"{sc.name} sweep ({spec.method}), "
+            f"{runner.last_wall_time_s:.2f}s wall"
+        ),
+    ))
+    print(f"sweep fingerprint: {spec.fingerprint()}")
+    return 0
+
+
+# --------------------------------------------------------------------- #
+# parser
+# --------------------------------------------------------------------- #
+def _add_param_flag(p: argparse.ArgumentParser) -> None:
+    """Attach the repeated ``-p key=value`` override flag."""
+    p.add_argument(
+        "-p", "--param", action="append", metavar="KEY=VALUE",
+        help="scenario parameter override (repeatable)",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the ``repro.scenarios`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.scenarios",
+        description="List, render, and solve registered MAP-network scenarios.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("list", help="list registered scenarios")
+    p.add_argument("--tag", help="only scenarios carrying this tag")
+    p.set_defaults(func=_cmd_list)
+
+    p = sub.add_parser("show", help="describe one scenario")
+    p.add_argument("name")
+    p.set_defaults(func=_cmd_show)
+
+    p = sub.add_parser("render", help="print the declarative YAML spec")
+    p.add_argument("name")
+    p.add_argument("--population", type=int, default=None)
+    _add_param_flag(p)
+    p.set_defaults(func=_cmd_render)
+
+    p = sub.add_parser("solve", help="solve one population via the registry")
+    p.add_argument("name", nargs="?", default=None,
+                   help="scenario name (omit when using --spec)")
+    p.add_argument("--spec", help="solve an external YAML spec file instead")
+    p.add_argument("--method", default="lp",
+                   help="solver method (lp/exact/sim/mva/aba/bjb/...)")
+    p.add_argument("--population", type=int, default=None)
+    p.add_argument("--no-cache", action="store_true")
+    _add_param_flag(p)
+    p.set_defaults(func=_cmd_solve)
+
+    p = sub.add_parser("sweep", help="population sweep via SweepRunner")
+    p.add_argument("name")
+    p.add_argument("--method", default="lp")
+    p.add_argument("--populations",
+                   help="comma-separated list (default: the scenario's)")
+    p.add_argument("--workers", type=int, default=None)
+    p.add_argument("--seed", type=int, default=None,
+                   help="base seed for stochastic methods")
+    p.add_argument("--no-cache", action="store_true")
+    _add_param_flag(p)
+    p.set_defaults(func=_cmd_sweep)
+
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "solve" and not args.name and not args.spec:
+        raise SystemExit("solve: give a scenario name or --spec FILE")
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

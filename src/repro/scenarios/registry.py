@@ -1,0 +1,170 @@
+"""Named, parameterized scenarios and the registry that serves them.
+
+A :class:`Scenario` packages a model *family* — a builder callable plus its
+documented default parameters, a default population, and a suggested
+population sweep — under a stable name with a paper reference.  The
+:class:`ScenarioRegistry` maps names to scenarios; the process-wide default
+registry (see :func:`repro.scenarios.get_scenario_registry`) is populated
+from :mod:`repro.scenarios.catalog` and is what the CLI, the experiment
+drivers, and the docs gallery all read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Mapping
+
+from repro.network.model import ClosedNetwork
+from repro.utils.errors import ValidationError
+
+__all__ = ["Scenario", "ScenarioRegistry"]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One named, parameterized model family.
+
+    Attributes
+    ----------
+    name:
+        Stable registry key (kebab-case).
+    summary:
+        One-line description (shown by ``scenarios list``).
+    description:
+        Longer prose for the docs gallery: what the scenario models and
+        which claim of the paper it exercises.
+    builder:
+        Callable ``builder(population, **params) -> ClosedNetwork``.
+    defaults:
+        Documented default parameters forwarded to ``builder``.
+    default_population:
+        Population used when the caller does not pick one.
+    populations:
+        Suggested population sweep (what the figures iterate over).
+    tags:
+        Free-form labels for filtering (``bursty``, ``multi-tier``, ...).
+    paper_ref:
+        Where in the paper the scenario comes from (e.g. ``"Fig. 8"``).
+    """
+
+    name: str
+    summary: str
+    builder: Callable[..., ClosedNetwork]
+    description: str = ""
+    defaults: Mapping[str, Any] = field(default_factory=dict)
+    default_population: int = 10
+    populations: tuple[int, ...] = ()
+    tags: tuple[str, ...] = ()
+    paper_ref: str = ""
+
+    def params(self, **overrides: Any) -> dict[str, Any]:
+        """Merge parameter overrides into the documented defaults.
+
+        Unknown parameter names are rejected so typos fail loudly instead
+        of silently building the default model.
+        """
+        merged = dict(self.defaults)
+        for key, value in overrides.items():
+            if key not in merged:
+                raise ValidationError(
+                    f"scenario {self.name!r} has no parameter {key!r}; "
+                    f"parameters: {sorted(merged) or '(none)'}"
+                )
+            merged[key] = value
+        return merged
+
+    def network(
+        self, population: int | None = None, **overrides: Any
+    ) -> ClosedNetwork:
+        """Build the scenario's network.
+
+        Parameters
+        ----------
+        population:
+            Job population; ``None`` uses :attr:`default_population`.
+        **overrides:
+            Parameter overrides, validated against :attr:`defaults`.
+
+        Returns
+        -------
+        ClosedNetwork
+            The compiled, validated model.
+        """
+        N = self.default_population if population is None else int(population)
+        return self.builder(N, **self.params(**overrides))
+
+    def spec(self, population: int | None = None, **overrides: Any) -> dict:
+        """Render the scenario (at the given parameters) as a declarative spec.
+
+        The spec compiles back to an identically-fingerprinting network via
+        :func:`repro.scenarios.spec.network_from_spec`.
+        """
+        from repro.scenarios.spec import network_to_spec
+
+        return network_to_spec(self.network(population, **overrides), name=self.name)
+
+    def fingerprint(self, population: int | None = None, **overrides: Any) -> str:
+        """Content fingerprint of the compiled model (cache-key material)."""
+        from repro.runtime.fingerprint import fingerprint_network
+
+        return fingerprint_network(self.network(population, **overrides))
+
+
+class ScenarioRegistry:
+    """Name -> :class:`Scenario` mapping with registration helpers."""
+
+    def __init__(self) -> None:
+        self._scenarios: dict[str, Scenario] = {}
+
+    def register(self, scenario: Scenario, replace: bool = False) -> Scenario:
+        """Add a scenario under its name.
+
+        Parameters
+        ----------
+        scenario:
+            The scenario to register.
+        replace:
+            Allow overwriting an existing registration (default: reject
+            duplicates, which are almost always a catalog bug).
+
+        Returns
+        -------
+        Scenario
+            The registered scenario (for decorator-style use).
+        """
+        if not replace and scenario.name in self._scenarios:
+            raise ValidationError(
+                f"scenario {scenario.name!r} is already registered"
+            )
+        self._scenarios[scenario.name] = scenario
+        return scenario
+
+    def get(self, name: str) -> Scenario:
+        """Look up a scenario, with a did-you-mean-style error on miss."""
+        try:
+            return self._scenarios[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown scenario {name!r}; registered: "
+                f"{', '.join(self.names()) or '(none)'}"
+            ) from None
+
+    def names(self) -> tuple[str, ...]:
+        """Registered scenario names, in registration order."""
+        return tuple(self._scenarios)
+
+    def by_tag(self, tag: str) -> tuple[Scenario, ...]:
+        """All scenarios carrying the given tag."""
+        return tuple(s for s in self if tag in s.tags)
+
+    def __iter__(self) -> Iterator[Scenario]:
+        """Iterate scenarios in registration order."""
+        return iter(self._scenarios.values())
+
+    def __len__(self) -> int:
+        """Number of registered scenarios."""
+        return len(self._scenarios)
+
+    def __contains__(self, name: object) -> bool:
+        """Membership test by scenario name."""
+        return name in self._scenarios

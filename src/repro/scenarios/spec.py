@@ -1,0 +1,358 @@
+"""Declarative model specs: dict/YAML <-> :class:`ClosedNetwork`.
+
+A *spec* is a plain JSON-ish tree describing a closed MAP queueing network
+— stations with named service distributions, routing by station name, and
+a job population:
+
+.. code-block:: yaml
+
+    population: 50
+    stations:
+      - {name: clients, kind: delay, service: {dist: exponential, mean: 7.0}}
+      - {name: front, kind: queue,
+         service: {dist: map2, mean: 0.018, scv: 16.0, gamma2: 0.8}}
+      - {name: db, kind: queue, service: {dist: exponential, mean: 0.025}}
+    routing:
+      clients: {front: 1.0}
+      front: {clients: 0.5, db: 0.5}
+      db: {front: 1.0}
+
+:func:`network_from_spec` compiles a spec to a validated network;
+:func:`network_to_spec` renders any network back to a spec (explicit
+``D0``/``D1`` matrices for multi-phase MAPs, so the round trip is exact:
+``fingerprint_network(network_from_spec(network_to_spec(net))) ==
+fingerprint_network(net)``).  :func:`load_spec` / :func:`dump_spec` add the
+YAML file format on top (requires PyYAML, which is gated — the dict path
+has no extra dependency).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.maps import builders
+from repro.maps.fitting import fit_map2, fit_renewal
+from repro.maps.map import MAP
+from repro.network.model import ClosedNetwork
+from repro.network.stations import Station
+from repro.utils.errors import NotSupportedError, ValidationError
+
+__all__ = [
+    "service_from_spec",
+    "service_to_spec",
+    "network_from_spec",
+    "network_to_spec",
+    "load_spec",
+    "dump_spec",
+]
+
+_STATION_KINDS = ("queue", "delay", "multiserver")
+
+
+def _require(mapping: Mapping, key: str, context: str) -> Any:
+    """Fetch a required key, failing with a spec-path error message."""
+    if key not in mapping:
+        raise ValidationError(f"{context}: missing required key {key!r}")
+    return mapping[key]
+
+
+def _yaml():
+    """Import PyYAML lazily; the dict-spec path never needs it."""
+    try:
+        import yaml
+    except ImportError as exc:  # pragma: no cover - environment-dependent
+        raise NotSupportedError(
+            "YAML specs require the 'pyyaml' package (pip install pyyaml); "
+            "dict specs work without it"
+        ) from exc
+    return yaml
+
+
+# --------------------------------------------------------------------- #
+# service distributions
+# --------------------------------------------------------------------- #
+def service_from_spec(spec: "Mapping[str, Any] | MAP") -> MAP:
+    """Build a MAP service process from a distribution spec.
+
+    Parameters
+    ----------
+    spec:
+        Either a ready :class:`~repro.maps.map.MAP` (returned unchanged) or
+        a mapping with a ``dist`` discriminator:
+
+        ``exponential``
+            ``mean`` or ``rate``.
+        ``erlang``
+            ``k`` plus ``mean`` or ``rate`` (per-stage).
+        ``hyperexp``
+            Either explicit ``p``/``rates`` lists or a ``(mean, scv)``
+            balanced fit.
+        ``renewal``
+            ``mean``/``scv`` fit with zero autocorrelation (Erlang /
+            exponential / H2, chosen by SCV).
+        ``map2``
+            ``mean``, ``scv``, ``gamma2`` — the paper's correlated MAP(2)
+            family with exactly geometric ACF.
+        ``mmpp2``
+            ``r1``, ``r2``, ``lam1``, ``lam2``.
+        ``map``
+            Explicit ``D0``/``D1`` matrices.
+
+    Returns
+    -------
+    MAP
+        The validated service process.
+    """
+    if isinstance(spec, MAP):
+        return spec
+    if not isinstance(spec, Mapping):
+        raise ValidationError(
+            f"service spec must be a mapping or a MAP, got {type(spec).__name__}"
+        )
+    dist = str(_require(spec, "dist", "service")).lower()
+    ctx = f"service(dist={dist})"
+    if dist == "exponential":
+        if "rate" in spec:
+            return builders.exponential(float(spec["rate"]))
+        return builders.exponential(1.0 / float(_require(spec, "mean", ctx)))
+    if dist == "erlang":
+        k = int(_require(spec, "k", ctx))
+        rate = float(spec["rate"]) if "rate" in spec else k / float(
+            _require(spec, "mean", ctx)
+        )
+        return builders.erlang(k, rate)
+    if dist == "hyperexp":
+        if "p" in spec or "rates" in spec:
+            return builders.hyperexponential(
+                _require(spec, "p", ctx), _require(spec, "rates", ctx)
+            )
+        from repro.maps.fitting import fit_hyperexp_balanced
+
+        p1, nu1, nu2 = fit_hyperexp_balanced(
+            float(_require(spec, "mean", ctx)), float(_require(spec, "scv", ctx))
+        )
+        return builders.hyperexponential([p1, 1.0 - p1], [nu1, nu2])
+    if dist == "renewal":
+        return fit_renewal(
+            float(_require(spec, "mean", ctx)), float(_require(spec, "scv", ctx))
+        )
+    if dist == "map2":
+        return fit_map2(
+            float(_require(spec, "mean", ctx)),
+            float(_require(spec, "scv", ctx)),
+            float(spec.get("gamma2", 0.0)),
+        )
+    if dist == "mmpp2":
+        return builders.mmpp2(
+            float(_require(spec, "r1", ctx)),
+            float(_require(spec, "r2", ctx)),
+            float(_require(spec, "lam1", ctx)),
+            float(_require(spec, "lam2", ctx)),
+        )
+    if dist == "map":
+        return MAP(_require(spec, "D0", ctx), _require(spec, "D1", ctx))
+    raise ValidationError(
+        f"unknown service dist {dist!r}; expected one of exponential, erlang, "
+        "hyperexp, renewal, map2, mmpp2, map"
+    )
+
+
+def service_to_spec(service: MAP) -> dict:
+    """Render a MAP service process as a declarative distribution spec.
+
+    Order-1 MAPs render as ``exponential``; anything else renders as
+    explicit ``D0``/``D1`` matrices, which is lossless (named families are
+    compile-time conveniences, not canonical forms).
+
+    Parameters
+    ----------
+    service:
+        The service process to render.
+
+    Returns
+    -------
+    dict
+        A spec accepted by :func:`service_from_spec`.
+    """
+    if service.order == 1:
+        return {"dist": "exponential", "rate": float(service.rate)}
+    return {
+        "dist": "map",
+        "D0": [[float(x) for x in row] for row in np.asarray(service.D0)],
+        "D1": [[float(x) for x in row] for row in np.asarray(service.D1)],
+    }
+
+
+# --------------------------------------------------------------------- #
+# whole networks
+# --------------------------------------------------------------------- #
+def _station_from_spec(spec: Mapping[str, Any]) -> Station:
+    """Compile one station entry of a network spec."""
+    name = str(_require(spec, "name", "station"))
+    kind = str(spec.get("kind", "queue"))
+    if kind not in _STATION_KINDS:
+        raise ValidationError(
+            f"station {name!r}: unknown kind {kind!r}; expected one of "
+            f"{_STATION_KINDS}"
+        )
+    service = service_from_spec(_require(spec, "service", f"station {name!r}"))
+    servers = int(spec.get("servers", 1))
+    return Station(name=name, service=service, kind=kind, servers=servers)
+
+
+def _routing_from_spec(
+    routing: "Mapping[str, Mapping[str, float]] | Any", names: list[str]
+) -> np.ndarray:
+    """Compile the routing entry (name-keyed mapping or explicit matrix)."""
+    if isinstance(routing, Mapping):
+        index = {name: i for i, name in enumerate(names)}
+        P = np.zeros((len(names), len(names)))
+        for src, row in routing.items():
+            if src not in index:
+                raise ValidationError(
+                    f"routing: unknown source station {src!r}; stations are {names}"
+                )
+            if not isinstance(row, Mapping):
+                raise ValidationError(
+                    f"routing[{src!r}] must map destination names to "
+                    f"probabilities, got {type(row).__name__}"
+                )
+            for dst, prob in row.items():
+                if dst not in index:
+                    raise ValidationError(
+                        f"routing[{src!r}]: unknown destination {dst!r}; "
+                        f"stations are {names}"
+                    )
+                P[index[src], index[dst]] = float(prob)
+        return P
+    return np.asarray(routing, dtype=float)
+
+
+def network_from_spec(spec: Mapping[str, Any]) -> ClosedNetwork:
+    """Compile a declarative spec to a validated :class:`ClosedNetwork`.
+
+    Parameters
+    ----------
+    spec:
+        Mapping with ``population``, ``stations`` (list of station specs),
+        and ``routing`` (name-keyed mapping or explicit matrix).  Extra
+        keys (``name``, ``description``, ...) are ignored, so scenario
+        documents compile as-is.
+
+    Returns
+    -------
+    ClosedNetwork
+        The compiled network (validation errors propagate).
+    """
+    if not isinstance(spec, Mapping):
+        raise ValidationError(f"spec must be a mapping, got {type(spec).__name__}")
+    station_specs = _require(spec, "stations", "spec")
+    if not isinstance(station_specs, (list, tuple)) or not station_specs:
+        raise ValidationError("spec: 'stations' must be a non-empty list")
+    stations = [_station_from_spec(s) for s in station_specs]
+    names = [s.name for s in stations]
+    routing = _routing_from_spec(_require(spec, "routing", "spec"), names)
+    population = int(_require(spec, "population", "spec"))
+    return ClosedNetwork(stations, routing, population)
+
+
+def network_to_spec(network: ClosedNetwork, name: str | None = None) -> dict:
+    """Render a network as a declarative spec (the inverse of compile).
+
+    Parameters
+    ----------
+    network:
+        The network to render.
+    name:
+        Optional scenario name recorded in the spec header.
+
+    Returns
+    -------
+    dict
+        A spec whose compilation fingerprints identically to ``network``.
+    """
+    spec: dict[str, Any] = {}
+    if name is not None:
+        spec["name"] = name
+    spec["population"] = int(network.population)
+    stations = []
+    for st in network.stations:
+        entry: dict[str, Any] = {
+            "name": st.name,
+            "kind": st.kind,
+            "service": service_to_spec(st.service),
+        }
+        if st.kind == "multiserver":
+            entry["servers"] = int(st.servers)
+        stations.append(entry)
+    spec["stations"] = stations
+    routing: dict[str, dict[str, float]] = {}
+    names = [st.name for st in network.stations]
+    P = np.asarray(network.routing)
+    for i, src in enumerate(names):
+        row = {
+            names[j]: float(P[i, j]) for j in range(len(names)) if P[i, j] != 0.0
+        }
+        if row:
+            routing[src] = row
+    spec["routing"] = routing
+    return spec
+
+
+# --------------------------------------------------------------------- #
+# YAML file format
+# --------------------------------------------------------------------- #
+def load_spec(source: str) -> dict:
+    """Parse a YAML spec document (a path or an inline YAML string).
+
+    Parameters
+    ----------
+    source:
+        Path to a ``.yaml``/``.yml`` file, or the YAML text itself.  A
+        newline-free string that *looks* like a path (a ``.yaml``/``.yml``
+        suffix or a path separator) but names no existing file raises a
+        file-not-found error rather than being parsed as inline YAML —
+        a typo'd path should never produce a confusing parse error.
+
+    Returns
+    -------
+    dict
+        The parsed spec tree (compile it with :func:`network_from_spec`).
+    """
+    import os
+
+    yaml = _yaml()
+    if "\n" not in source and os.path.exists(source):
+        with open(source, "r", encoding="utf-8") as fh:
+            doc = yaml.safe_load(fh)
+    elif "\n" not in source and (
+        source.endswith((".yaml", ".yml")) or os.sep in source
+    ):
+        raise ValidationError(f"spec file not found: {source}")
+    else:
+        doc = yaml.safe_load(source)
+    if not isinstance(doc, dict):
+        raise ValidationError(
+            f"YAML spec must be a mapping document, got {type(doc).__name__}"
+        )
+    return doc
+
+
+def dump_spec(spec: Mapping[str, Any]) -> str:
+    """Serialize a spec tree to canonical YAML text.
+
+    Parameters
+    ----------
+    spec:
+        The spec tree (e.g. from :func:`network_to_spec`).
+
+    Returns
+    -------
+    str
+        YAML text; floats round-trip exactly (Python's shortest-repr float
+        formatting), so fingerprints survive dump/load cycles.
+    """
+    yaml = _yaml()
+    return yaml.safe_dump(dict(spec), sort_keys=False, default_flow_style=None)

@@ -1,10 +1,28 @@
-"""Workload substrates: the TPC-W-style multi-tier case study."""
+"""Workload substrates: reusable model generators for the scenario layer.
 
-from repro.workloads.bursty import BURSTINESS_LEVELS, bursty_service
+Each generator returns a validated
+:class:`~repro.network.model.ClosedNetwork` and is wired into the
+:mod:`repro.scenarios` registry:
+
+* :func:`tpcw_model` — the paper's TPC-W multi-tier case study (Figs. 1-3);
+* :func:`tandem_model` / :func:`poisson_tandem_model` — the bursty vs
+  memoryless two-queue tandems of Figure 4;
+* :func:`central_server_model` — CPU + parallel disks with hyperexponential
+  service and load-skewed routing;
+* :func:`random_3queue_model` — the random-model protocol of Table 1;
+* :func:`bursty_service` — qualitative burstiness presets mapped onto
+  (SCV, gamma2) pairs of the correlated-H2 MAP(2) family.
+"""
+
+from repro.workloads.bursty import BURSTINESS_LEVELS, BurstinessLevel, bursty_service
+from repro.workloads.central import central_server_model, skewed_disk_probabilities
+from repro.workloads.randomnet import random_3queue_model
+from repro.workloads.tandem import poisson_tandem_model, tandem_model
 from repro.workloads.tpcw import (
     CLIENT,
     DB,
     FRONT,
+    TpcwFlowTaps,
     TpcwParameters,
     tpcw_flow_taps,
     tpcw_model,
@@ -12,7 +30,14 @@ from repro.workloads.tpcw import (
 
 __all__ = [
     "BURSTINESS_LEVELS",
+    "BurstinessLevel",
     "bursty_service",
+    "central_server_model",
+    "skewed_disk_probabilities",
+    "poisson_tandem_model",
+    "random_3queue_model",
+    "tandem_model",
+    "TpcwFlowTaps",
     "TpcwParameters",
     "tpcw_model",
     "tpcw_flow_taps",

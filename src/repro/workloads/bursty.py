@@ -9,19 +9,37 @@ correlated-H2 MAP(2) family, so workload models can say
 
 from __future__ import annotations
 
+from typing import NamedTuple
+
 from repro.maps.fitting import fit_map2
 from repro.maps.map import MAP
 from repro.utils.errors import ValidationError
 
-__all__ = ["BURSTINESS_LEVELS", "bursty_service"]
+__all__ = ["BurstinessLevel", "BURSTINESS_LEVELS", "bursty_service"]
 
-# (scv, gamma2): squared coefficient of variation and ACF geometric decay.
-BURSTINESS_LEVELS: dict[str, tuple[float, float]] = {
-    "none": (1.0, 0.0),      # exponential — the "no-ACF" baseline
-    "low": (4.0, 0.3),       # mildly variable, short memory
-    "medium": (9.0, 0.6),    # pronounced variability, visible ACF tail
-    "high": (16.0, 0.8),     # the paper's case-study regime (CV = 4)
-    "extreme": (25.0, 0.95), # long bursts, slowly-decaying ACF
+
+class BurstinessLevel(NamedTuple):
+    """The (SCV, gamma2) pair behind one qualitative burstiness level.
+
+    Attributes
+    ----------
+    scv:
+        Squared coefficient of variation of the service time.
+    gamma2:
+        Geometric decay rate of the interdeparture autocorrelation
+        function (0 = renewal, -> 1 = long memory).
+    """
+
+    scv: float
+    gamma2: float
+
+
+BURSTINESS_LEVELS: dict[str, BurstinessLevel] = {
+    "none": BurstinessLevel(scv=1.0, gamma2=0.0),      # exponential baseline
+    "low": BurstinessLevel(scv=4.0, gamma2=0.3),       # mild, short memory
+    "medium": BurstinessLevel(scv=9.0, gamma2=0.6),    # visible ACF tail
+    "high": BurstinessLevel(scv=16.0, gamma2=0.8),     # the paper's CV = 4
+    "extreme": BurstinessLevel(scv=25.0, gamma2=0.95), # slowly-decaying ACF
 }
 
 
@@ -36,10 +54,10 @@ def bursty_service(mean: float, level: str = "high") -> MAP:
         One of :data:`BURSTINESS_LEVELS` (``"none"`` returns an exponential).
     """
     try:
-        scv, gamma2 = BURSTINESS_LEVELS[level]
+        lvl = BURSTINESS_LEVELS[level]
     except KeyError:
         raise ValidationError(
             f"unknown burstiness level {level!r}; choose from "
             f"{sorted(BURSTINESS_LEVELS)}"
         ) from None
-    return fit_map2(mean, scv, gamma2)
+    return fit_map2(mean, lvl.scv, lvl.gamma2)

@@ -1,0 +1,113 @@
+"""Central-server workloads: CPU fan-out to parallel disks.
+
+The classic capacity-planning topology — a CPU station dispatching to a
+bank of disks and receiving the replies — exercised here in two regimes the
+paper's modelling language covers and product-form tools do not:
+
+* **hyperexponential service** at the CPU (``scv > 1``, zero ACF): high
+  variability without temporal dependence, the renewal stress case;
+* **load-skewed routing**: one "hot" disk absorbs most of the fan-out, so
+  the bottleneck moves off the CPU and bound tightness under asymmetric
+  load can be studied.
+
+Both knobs are exposed by one generator, :func:`central_server_model`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.maps.builders import exponential, hyperexponential
+from repro.maps.fitting import fit_hyperexp_balanced
+from repro.network.model import ClosedNetwork
+from repro.network.stations import queue
+from repro.utils.errors import ValidationError
+
+__all__ = ["central_server_model", "skewed_disk_probabilities"]
+
+
+def skewed_disk_probabilities(n_disks: int, skew: float) -> np.ndarray:
+    """Routing split over ``n_disks`` with a tunable hot-disk share.
+
+    Parameters
+    ----------
+    n_disks:
+        Number of disk stations (>= 1).
+    skew:
+        Probability mass routed to disk 1; the remaining ``1 - skew`` is
+        spread uniformly over the other disks.  ``skew = 1/n_disks``
+        recovers the balanced split.
+
+    Returns
+    -------
+    numpy.ndarray
+        Length-``n_disks`` probability vector.
+    """
+    if n_disks < 1:
+        raise ValidationError(f"need at least one disk, got {n_disks}")
+    if not 0.0 < skew <= 1.0:
+        raise ValidationError(f"skew must be in (0, 1], got {skew}")
+    if n_disks == 1:
+        return np.array([1.0])
+    p = np.full(n_disks, (1.0 - skew) / (n_disks - 1))
+    p[0] = skew
+    return p
+
+
+def central_server_model(
+    population: int,
+    n_disks: int = 2,
+    cpu_mean: float = 0.2,
+    disk_mean: float = 0.5,
+    cpu_scv: float = 1.0,
+    skew: float | None = None,
+) -> ClosedNetwork:
+    """Closed central-server network: CPU dispatching to parallel disks.
+
+    Each job alternates CPU bursts and disk accesses: after a CPU burst it
+    visits disk ``i`` with probability ``p_i`` and returns to the CPU.
+
+    Parameters
+    ----------
+    population:
+        Number of circulating jobs ``N``.
+    n_disks:
+        Number of disk stations.
+    cpu_mean:
+        Mean CPU service time per visit.
+    disk_mean:
+        Mean disk service time per visit (identical disks).
+    cpu_scv:
+        Squared coefficient of variation of the CPU service time;
+        ``cpu_scv > 1`` fits a balanced hyperexponential (renewal, zero
+        ACF), ``cpu_scv = 1`` keeps the CPU exponential.
+    skew:
+        Hot-disk routing share (see :func:`skewed_disk_probabilities`);
+        ``None`` routes uniformly.
+
+    Returns
+    -------
+    ClosedNetwork
+        The ``1 + n_disks``-station central-server network.
+    """
+    if cpu_scv < 1.0:
+        raise ValidationError(
+            f"cpu_scv must be >= 1 (exponential or hyperexponential), got {cpu_scv}"
+        )
+    if cpu_scv == 1.0:
+        cpu_service = exponential(1.0 / cpu_mean)
+    else:
+        p1, nu1, nu2 = fit_hyperexp_balanced(cpu_mean, cpu_scv)
+        cpu_service = hyperexponential([p1, 1.0 - p1], [nu1, nu2])
+    split = skewed_disk_probabilities(
+        n_disks, 1.0 / n_disks if skew is None else skew
+    )
+    M = 1 + n_disks
+    routing = np.zeros((M, M))
+    routing[0, 1:] = split
+    routing[1:, 0] = 1.0
+    stations = [queue("cpu", cpu_service)]
+    stations += [
+        queue(f"disk{i + 1}", exponential(1.0 / disk_mean)) for i in range(n_disks)
+    ]
+    return ClosedNetwork(stations, routing, population)

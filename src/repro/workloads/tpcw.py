@@ -21,6 +21,7 @@ interaction: ``v_front = 1 / (1 - p_db)``, ``v_db = p_db / (1 - p_db)``.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import NamedTuple
 
 import numpy as np
 
@@ -31,7 +32,15 @@ from repro.sim.taps import FlowTap
 from repro.utils.errors import ValidationError
 from repro.workloads.bursty import bursty_service
 
-__all__ = ["TpcwParameters", "tpcw_model", "tpcw_flow_taps", "CLIENT", "FRONT", "DB"]
+__all__ = [
+    "TpcwParameters",
+    "TpcwFlowTaps",
+    "tpcw_model",
+    "tpcw_flow_taps",
+    "CLIENT",
+    "FRONT",
+    "DB",
+]
 
 CLIENT, FRONT, DB = 0, 1, 2
 
@@ -97,17 +106,36 @@ def tpcw_model(browsers: int, params: TpcwParameters | None = None) -> ClosedNet
     )
 
 
-def tpcw_flow_taps() -> list[FlowTap]:
-    """The six observation points of the paper's Figure 1.
+class TpcwFlowTaps(NamedTuple):
+    """The six observation points of the paper's Figure 1, by name.
 
-    (1) client arrivals, (2) client departures, (3) front arrivals,
-    (4) front departures, (5) DB arrivals, (6) DB departures.
+    Iteration order matches the paper's numbering (1)-(6), so the tuple can
+    still be passed wherever a plain tap sequence is expected; the named
+    fields replace the previously undocumented positional ordering.
     """
-    return [
-        FlowTap(CLIENT, "arrival", "(1) Client Arrival"),
-        FlowTap(CLIENT, "departure", "(2) Client Departure"),
-        FlowTap(FRONT, "arrival", "(3) Front Arrival"),
-        FlowTap(FRONT, "departure", "(4) Front Departure"),
-        FlowTap(DB, "arrival", "(5) DB Arrival"),
-        FlowTap(DB, "departure", "(6) DB Departure"),
-    ]
+
+    client_arrival: FlowTap
+    client_departure: FlowTap
+    front_arrival: FlowTap
+    front_departure: FlowTap
+    db_arrival: FlowTap
+    db_departure: FlowTap
+
+
+def tpcw_flow_taps() -> TpcwFlowTaps:
+    """Build the six flow taps of the paper's Figure 1.
+
+    Returns
+    -------
+    TpcwFlowTaps
+        Named taps for client/front/DB arrivals and departures, in the
+        paper's (1)-(6) order.
+    """
+    return TpcwFlowTaps(
+        client_arrival=FlowTap(CLIENT, "arrival", "(1) Client Arrival"),
+        client_departure=FlowTap(CLIENT, "departure", "(2) Client Departure"),
+        front_arrival=FlowTap(FRONT, "arrival", "(3) Front Arrival"),
+        front_departure=FlowTap(FRONT, "departure", "(4) Front Departure"),
+        db_arrival=FlowTap(DB, "arrival", "(5) DB Arrival"),
+        db_departure=FlowTap(DB, "departure", "(6) DB Departure"),
+    )

@@ -1,0 +1,87 @@
+"""Tests for the declarative, scenario-aware SweepSpec."""
+
+import pytest
+
+from repro.runtime import SweepRunner, SweepSpec, fingerprint_sweep
+from repro.scenarios import get_scenario
+
+
+class TestSweepSpec:
+    def test_networks_compile_through_the_scenario_registry(self):
+        spec = SweepSpec(scenario="poisson-tandem", populations=(2, 4, 6))
+        nets = spec.networks()
+        assert [n.population for n in nets] == [2, 4, 6]
+        assert all(n.is_product_form for n in nets)
+
+    def test_params_are_forwarded(self):
+        spec = SweepSpec(
+            scenario="bursty-tandem",
+            populations=(3,),
+            params={"scv": 1.0, "gamma2": 0.0},
+        )
+        assert spec.networks()[0].is_product_form
+
+    def test_dict_round_trip(self):
+        spec = SweepSpec(
+            scenario="fig5-case-study",
+            populations=(5, 10),
+            method="aba",
+            params={"cv": 2.0},
+            opts={"reference": 0},
+            base_seed=7,
+        )
+        again = SweepSpec.from_dict(spec.to_dict())
+        assert again == spec
+
+    def test_empty_populations_rejected(self):
+        with pytest.raises(ValueError):
+            SweepSpec(scenario="tpcw", populations=())
+
+    def test_fingerprint_matches_hand_built_models(self):
+        spec = SweepSpec(scenario="poisson-tandem", populations=(2, 4), method="mva")
+        sc = get_scenario("poisson-tandem")
+        hand = [sc.network(population=n) for n in (2, 4)]
+        assert spec.fingerprint() == fingerprint_sweep(hand, "mva", {})
+
+    def test_fingerprint_mixes_seeds_for_stochastic_methods(self):
+        """Seeds enter the digest exactly when they enter the cache keys."""
+        sim1 = SweepSpec(scenario="poisson-tandem", populations=(2,),
+                         method="sim", base_seed=1)
+        sim2 = SweepSpec(scenario="poisson-tandem", populations=(2,),
+                         method="sim", base_seed=2)
+        assert sim1.fingerprint() != sim2.fingerprint()
+        # deterministic methods ignore base_seed, and so does the digest
+        mva1 = SweepSpec(scenario="poisson-tandem", populations=(2,),
+                         method="mva", base_seed=1)
+        mva2 = SweepSpec(scenario="poisson-tandem", populations=(2,),
+                         method="mva", base_seed=2)
+        assert mva1.fingerprint() == mva2.fingerprint()
+
+    def test_runner_controls_rejected_in_opts(self):
+        with pytest.raises(ValueError, match="cache"):
+            SweepSpec(scenario="tpcw", populations=(2,), opts={"cache": False})
+        with pytest.raises(ValueError, match="workers"):
+            SweepSpec(scenario="tpcw", populations=(2,), opts={"workers": 4})
+
+    def test_fingerprint_sensitive_to_params_and_method(self):
+        base = SweepSpec(scenario="bursty-tandem", populations=(3,))
+        other_params = SweepSpec(
+            scenario="bursty-tandem", populations=(3,), params={"scv": 4.0}
+        )
+        other_method = SweepSpec(
+            scenario="bursty-tandem", populations=(3,), method="aba"
+        )
+        assert base.fingerprint() != other_params.fingerprint()
+        assert base.fingerprint() != other_method.fingerprint()
+
+
+class TestRunSpec:
+    def test_run_spec_solves_in_order(self):
+        runner = SweepRunner(workers=1, cache_dir=None)
+        spec = SweepSpec(
+            scenario="poisson-tandem", populations=(2, 4, 8), method="mva"
+        )
+        results = runner.run_spec(spec)
+        xs = [r.system_throughput_point() for r in results]
+        assert xs == sorted(xs)  # throughput grows with N
+        assert all(r.method == "mva" for r in results)

@@ -1,0 +1,35 @@
+"""The docs scenario gallery must be generated from the live registry."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+from repro.scenarios import get_scenario_registry
+
+DOCS = Path(__file__).resolve().parents[2] / "docs"
+
+
+def _load_generator():
+    spec = importlib.util.spec_from_file_location(
+        "gen_gallery", DOCS / "gen_gallery.py"
+    )
+    mod = importlib.util.module_from_spec(spec)
+    sys.modules["gen_gallery"] = mod
+    spec.loader.exec_module(mod)
+    return mod
+
+
+class TestGallery:
+    def test_generation_covers_every_registered_scenario(self, tmp_path):
+        mod = _load_generator()
+        out = tmp_path / "scenarios.md"
+        assert mod.main([str(out)]) == 0
+        text = out.read_text(encoding="utf-8")
+        for name in get_scenario_registry().names():
+            assert f"## `{name}`" in text
+        assert "GENERATED FILE" in text
+
+    def test_generated_text_counts_the_registry(self):
+        mod = _load_generator()
+        text = mod.generate()
+        assert f"**{len(get_scenario_registry())} scenarios registered.**" in text

@@ -1,0 +1,100 @@
+"""Smoke tests for the ``python -m repro.scenarios`` CLI."""
+
+import pytest
+
+from repro.scenarios import get_scenario_registry
+from repro.scenarios.cli import main
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    """Keep CLI solves away from the developer's on-disk cache.
+
+    Resetting ``_default_registry`` through monkeypatch makes the lazy
+    ``get_registry()`` rebuild against the isolated ``REPRO_CACHE_DIR``
+    and — crucially — restores the previous process-wide registry on
+    teardown, so later tests/benchmarks keep their warm cache.
+    """
+    import repro.runtime as runtime
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.setattr(runtime, "_default_registry", None)
+
+
+class TestList:
+    def test_lists_all_scenarios(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in get_scenario_registry().names():
+            assert name in out
+
+    def test_tag_filter(self, capsys):
+        assert main(["list", "--tag", "tandem"]) == 0
+        out = capsys.readouterr().out
+        assert "bursty-tandem" in out
+        assert "tpcw " not in out
+
+
+class TestShow:
+    def test_show_prints_card(self, capsys):
+        assert main(["show", "fig5-case-study"]) == 0
+        out = capsys.readouterr().out
+        assert "Figs. 5 and 8" in out
+        assert "fingerprint:" in out
+
+
+class TestRender:
+    def test_render_emits_loadable_yaml(self, capsys):
+        assert main(["render", "bursty-tandem", "--population", "6"]) == 0
+        out = capsys.readouterr().out
+        from repro.scenarios import load_spec, network_from_spec
+
+        net = network_from_spec(load_spec(out))
+        assert net.population == 6
+
+    def test_param_override(self, capsys):
+        assert main([
+            "render", "poisson-tandem", "--population", "2",
+            "-p", "service_mean_2=2.5",
+        ]) == 0
+        assert "0.4" in capsys.readouterr().out  # rate = 1/2.5
+
+
+class TestSolve:
+    def test_solve_named_scenario(self, capsys):
+        assert main([
+            "solve", "poisson-tandem", "--method", "mva", "--population", "4",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "system throughput" in out
+
+    def test_solve_external_spec_file(self, tmp_path, capsys):
+        spec = tmp_path / "net.yaml"
+        main(["render", "poisson-tandem", "--population", "3"])
+        spec.write_text(capsys.readouterr().out, encoding="utf-8")
+        assert main([
+            "solve", "--spec", str(spec), "--method", "mva",
+        ]) == 0
+        assert "N=3" in capsys.readouterr().out
+
+    def test_solve_requires_name_or_spec(self):
+        with pytest.raises(SystemExit):
+            main(["solve"])
+
+    def test_spec_with_param_overrides_rejected_loudly(self, tmp_path, capsys):
+        spec = tmp_path / "net.yaml"
+        main(["render", "poisson-tandem", "--population", "3"])
+        spec.write_text(capsys.readouterr().out, encoding="utf-8")
+        with pytest.raises(SystemExit, match="named scenarios only"):
+            main(["solve", "--spec", str(spec), "-p", "service_mean_2=9.9"])
+
+
+class TestSweep:
+    def test_sweep_prints_fingerprint_and_rows(self, capsys):
+        assert main([
+            "sweep", "poisson-tandem", "--method", "mva",
+            "--populations", "2,4", "--workers", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "sweep fingerprint:" in out
+        assert out.count("\n") >= 5

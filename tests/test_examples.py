@@ -33,6 +33,7 @@ def _load(name: str):
         "trace_driven_fitting",
         "resource_allocation",
         "parallel_sweep",
+        "scenario_catalog",
     ],
 )
 def test_example_imports_and_has_main(name):
@@ -53,6 +54,14 @@ def test_custom_map_fitting_runs_end_to_end(capsys):
     module.main()
     out = capsys.readouterr().out
     assert "geometric decay check" in out
+
+
+def test_scenario_catalog_runs_end_to_end(capsys):
+    module = _load("scenario_catalog")
+    module.main()
+    out = capsys.readouterr().out
+    assert "registered scenarios" in out
+    assert "builder reproduces the catalog model exactly: True" in out
 
 
 def test_examples_are_executable_scripts():

@@ -1,0 +1,107 @@
+"""JSON perf reporter: the machine-readable benchmark trajectory.
+
+Benchmarks record structured entries through the session-scoped
+``perf_report`` fixture (see ``conftest.py``); at session end the reporter
+writes ``BENCH_lp_scaling.json`` at the repository root (override with
+``REPRO_BENCH_JSON``).  The file is the tracked perf baseline: every PR
+that touches the LP kernel regenerates it via ``make bench-large`` so the
+assembly/solve trajectory is reviewable alongside the code.
+
+Any reporter failure (unserializable entry, unwritable path, corrupt
+round-trip) raises — the CI bench job fails on reporter errors, never on
+timing noise.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import platform
+from pathlib import Path
+
+SCHEMA_VERSION = 1
+
+#: (M, N) of the ring-of-MAP(2) stress shape per preset.  "large" is the
+#: paper's Section 2 claim: 10 MAP(2) queues at N = 50.
+PRESETS = {"quick": (10, 25), "large": (10, 50)}
+
+
+def bench_preset() -> str:
+    """Active preset name from ``REPRO_BENCH_PRESET`` (default: quick)."""
+    preset = os.environ.get("REPRO_BENCH_PRESET", "quick").lower()
+    if preset not in PRESETS:
+        raise ValueError(
+            f"REPRO_BENCH_PRESET must be one of {sorted(PRESETS)}, got {preset!r}"
+        )
+    return preset
+
+
+def default_report_path() -> Path:
+    """Output path for the active preset (``REPRO_BENCH_JSON`` overrides).
+
+    Only the large preset writes the *tracked* baseline
+    ``BENCH_lp_scaling.json``; the quick preset defaults to the untracked
+    ``BENCH_lp_scaling.quick.json`` so a local ``make bench`` can never
+    clobber the committed large-preset measurement.  The CI bench job pins
+    ``REPRO_BENCH_JSON=BENCH_lp_scaling.json`` explicitly for its artifact.
+    """
+    env = os.environ.get("REPRO_BENCH_JSON")
+    if env:
+        return Path(env)
+    name = (
+        "BENCH_lp_scaling.json"
+        if bench_preset() == "large"
+        else "BENCH_lp_scaling.quick.json"
+    )
+    return Path(__file__).resolve().parent.parent / name
+
+
+class PerfReporter:
+    """Collects benchmark entries and writes the JSON artifact atomically."""
+
+    def __init__(self, path: "Path | str | None" = None) -> None:
+        self.path = Path(path) if path is not None else default_report_path()
+        self.entries: list[dict] = []
+
+    def record(self, case: str, **fields) -> dict:
+        """Append one entry; scalars only, non-finite floats are an error."""
+        entry: dict = {"case": str(case)}
+        for key, value in fields.items():
+            if isinstance(value, bool) or value is None or isinstance(value, str):
+                entry[key] = value
+            elif isinstance(value, (int, float)):
+                value = float(value) if isinstance(value, float) else int(value)
+                if isinstance(value, float) and not math.isfinite(value):
+                    raise ValueError(
+                        f"perf entry {case!r}: field {key!r} is non-finite"
+                    )
+                entry[key] = value
+            else:
+                raise TypeError(
+                    f"perf entry {case!r}: field {key!r} has unserializable "
+                    f"type {type(value).__name__}"
+                )
+        self.entries.append(entry)
+        return entry
+
+    def payload(self) -> dict:
+        """The full JSON document."""
+        return {
+            "schema": SCHEMA_VERSION,
+            "benchmark": "lp_scaling",
+            "preset": bench_preset(),
+            "python": platform.python_version(),
+            "entries": list(self.entries),
+        }
+
+    def write(self) -> Path:
+        """Serialize, write atomically, and verify the round-trip."""
+        text = json.dumps(self.payload(), indent=2, allow_nan=False) + "\n"
+        tmp = self.path.with_suffix(".json.tmp")
+        tmp.write_text(text)
+        tmp.replace(self.path)
+        check = json.loads(self.path.read_text())
+        if check.get("schema") != SCHEMA_VERSION or "entries" not in check:
+            raise RuntimeError(f"perf report round-trip failed for {self.path}")
+        return self.path

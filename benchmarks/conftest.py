@@ -5,9 +5,19 @@ seconds-scale preset and asserts the *shape* claims of the paper — who
 wins, by roughly what factor, where the crossovers fall.  Full-fidelity
 presets are available through each experiment's ``paper()`` config and the
 ``python -m repro.experiments.<name>`` CLIs.
+
+Benchmarks that track the perf trajectory additionally record structured
+entries through the session-scoped ``perf_report`` fixture, which writes
+``BENCH_lp_scaling.json`` at session end (see ``bench_reporting.py``).
+A reporter failure raises at teardown — the CI bench job fails on reporter
+errors, never on timing noise.
 """
 
+import os
+
 import pytest
+
+from bench_reporting import PerfReporter
 
 
 @pytest.fixture()
@@ -18,3 +28,20 @@ def once(benchmark):
         return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
 
     return _run
+
+
+@pytest.fixture(scope="session")
+def perf_report():
+    """Session-wide JSON perf reporter; written (and verified) at teardown.
+
+    The artifact is only written on explicit opt-in — ``REPRO_BENCH_PRESET``
+    or ``REPRO_BENCH_JSON`` set, as ``make bench``/``bench-large`` and the
+    CI bench job do.  A plain ``pytest`` run (which collects benchmarks via
+    the tier-1 testpaths) must not overwrite the committed large-preset
+    baseline with local quick-preset timings.
+    """
+    reporter = PerfReporter()
+    yield reporter
+    opted_in = "REPRO_BENCH_PRESET" in os.environ or "REPRO_BENCH_JSON" in os.environ
+    if reporter.entries and opted_in:
+        reporter.write()

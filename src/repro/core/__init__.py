@@ -11,7 +11,19 @@ or metric-by-metric with :func:`bound_metric` and the objective builders in
 """
 
 from repro.core.variables import VariableIndex
-from repro.core.constraints import ConstraintSystem, build_constraints
+from repro.core.assembly import (
+    AssemblyCache,
+    AssemblyPlan,
+    assemble,
+    canonical_form,
+    get_assembly_cache,
+    topology_key,
+)
+from repro.core.constraints import (
+    ConstraintSystem,
+    build_constraints,
+    build_constraints_reference,
+)
 from repro.core.objectives import (
     LinearMetric,
     throughput_metric,
@@ -33,8 +45,15 @@ from repro.core.projection import project_exact_solution, verify_exactness
 
 __all__ = [
     "VariableIndex",
+    "AssemblyCache",
+    "AssemblyPlan",
     "ConstraintSystem",
+    "assemble",
     "build_constraints",
+    "build_constraints_reference",
+    "canonical_form",
+    "get_assembly_cache",
+    "topology_key",
     "LinearMetric",
     "throughput_metric",
     "utilization_metric",

@@ -53,6 +53,10 @@ def solve_lp_core(
 
     ``bounds`` is the ``(n, 2)`` stacked variable-bound array; passing it in
     lets batched callers build it once per system instead of per solve.
+
+    Returns ``(res, method_used)``: the scipy ``OptimizeResult`` untouched,
+    plus the name of the HiGHS algorithm that actually produced it (the
+    requested ``method``, or the retry-ladder step that succeeded).
     """
     if bounds is None:
         bounds = np.column_stack([system.lb, system.ub])
@@ -70,15 +74,15 @@ def solve_lp_core(
         )
 
     res = _solve(method)
-    res.method_used = method
+    method_used = method
     if not res.success:
         alternate = "highs" if method == "highs-ipm" else "highs-ipm"
         for meth, options in ((alternate, None), ("highs", {"presolve": False})):
             res = _solve(meth, options)
-            res.method_used = meth
+            method_used = meth
             if res.success:
                 break
-    return res
+    return res, method_used
 
 
 def optimize_metric(
@@ -116,8 +120,10 @@ def optimize_metric(
         method = "highs" if system.n_variables <= _IPM_THRESHOLD else "highs-ipm"
     c = metric.dense(system.n_variables)
     sign = 1.0 if sense == "min" else -1.0
+    if sense == "max":
+        np.negative(c, out=c)  # flip in place: one dense vector per solve
 
-    res = solve_lp_core(sign * c, system, method)
+    res, _ = solve_lp_core(c, system, method)
     if not res.success:
         raise SolverError(
             f"LP {sense} of {metric.name} failed: {res.message} (status {res.status})"

@@ -3,7 +3,7 @@
 from repro.network.stations import Station, queue, delay, multiserver
 from repro.network.routing import validate_routing, visit_ratios, routing_graph
 from repro.network.model import ClosedNetwork
-from repro.network.statespace import NetworkStateSpace
+from repro.network.statespace import NetworkStateSpace, PhaseLayout, StateSpaceCache
 from repro.network.exact import ExactSolution, build_generator, solve_exact
 
 __all__ = [
@@ -16,6 +16,8 @@ __all__ = [
     "routing_graph",
     "ClosedNetwork",
     "NetworkStateSpace",
+    "PhaseLayout",
+    "StateSpaceCache",
     "ExactSolution",
     "build_generator",
     "solve_exact",

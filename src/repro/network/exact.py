@@ -28,7 +28,7 @@ import scipy.sparse as sp
 
 from repro.markov.ctmc import steady_state_ctmc
 from repro.network.model import ClosedNetwork
-from repro.network.statespace import NetworkStateSpace
+from repro.network.statespace import NetworkStateSpace, expected_state_count
 
 __all__ = ["build_generator", "solve_exact", "ExactSolution"]
 
@@ -280,6 +280,7 @@ def solve_exact(
     network: ClosedNetwork,
     method: str = "auto",
     max_states: int = 2_000_000,
+    space: NetworkStateSpace | None = None,
 ) -> ExactSolution:
     """Solve the network's CTMC exactly.
 
@@ -292,8 +293,29 @@ def solve_exact(
     max_states:
         Guard rail: refuse state spaces larger than this (the paper's
         "prohibitive" regime) instead of exhausting memory.
+    space:
+        Optional prebuilt state space for this network.  Population sweeps
+        pass one assembled from a
+        :class:`~repro.network.statespace.StateSpaceCache` so the phase
+        digit tables and masks are enumerated once per topology instead of
+        once per point.
     """
-    space = NetworkStateSpace(network)
+    if space is None:
+        # Guard with the closed-form count *before* enumerating: an
+        # over-limit composition space would exhaust memory in __init__.
+        expected = expected_state_count(network)
+        if expected > max_states:
+            raise MemoryError(
+                f"state space has {expected} states (> max_states="
+                f"{max_states}); use the LP bounds (repro.core) or "
+                "simulation (repro.sim) instead"
+            )
+        space = NetworkStateSpace(network)
+    elif space.network is not network and (
+        space.comp.total != network.population
+        or tuple(space.phase_dims) != tuple(network.phase_orders)
+    ):
+        raise ValueError("prebuilt state space does not match the network")
     if space.size > max_states:
         raise MemoryError(
             f"state space has {space.size} states (> max_states={max_states}); "

@@ -5,10 +5,17 @@ for the dense objective vector, the stacked variable-bound array, and method
 selection.  :class:`BatchLPSolver` amortizes everything that does not depend
 on the objective across all min/max pairs of a model: the variable index,
 the assembled sparse constraint matrices, the ``(n, 2)`` bound array, and
-the HiGHS method choice.  A min/max *pair* additionally shares one dense
-coefficient vector (sign-flipped), so a full standard-metric sweep performs
-exactly one constraint assembly and ``2 * n_metrics`` solver calls with no
-redundant re-densification.
+the HiGHS method choice.  Dense metric coefficient vectors are built once
+per canonical metric spec and reused across min/max senses (and across
+repeated :meth:`BatchLPSolver.bound_specs` calls), so a full
+standard-metric sweep performs exactly one constraint assembly and
+``2 * n_metrics`` solver calls with no redundant re-densification.
+
+Constraint assembly routes through the vectorized block kernel and its
+per-topology :class:`~repro.core.assembly.AssemblyCache` (the process-wide
+default unless one is injected), so a population sweep over a fixed
+topology computes the phase/routing block patterns exactly once and only
+re-materializes the N-dependent slices at each point.
 
 Metric requests use compact string specs::
 
@@ -26,8 +33,8 @@ import time
 
 import numpy as np
 
+from repro.core.assembly import AssemblyCache, get_assembly_cache
 from repro.core.bounds import BoundsResult, Interval
-from repro.core.constraints import build_constraints
 from repro.core.lp import _IPM_THRESHOLD, solve_lp_core
 from repro.core.objectives import (
     LinearMetric,
@@ -98,13 +105,18 @@ class BatchLPSolver:
         triples: bool | None = None,
         include_redundant: bool = False,
         method: str = "auto",
+        assembly_cache: AssemblyCache | None = None,
     ) -> None:
         self.network = network
+        cache = assembly_cache if assembly_cache is not None else get_assembly_cache()
         t0 = time.perf_counter()
-        self.vi = VariableIndex(network, triples=triples)
-        self.system = build_constraints(
-            network, self.vi, include_redundant=include_redundant
+        plan_misses = cache.misses
+        plan = cache.plan_for(
+            network, triples=triples, include_redundant=include_redundant
         )
+        self.plan_from_cache = cache.misses == plan_misses
+        self.vi = VariableIndex(network, triples=plan.triples)
+        self.system = plan.assemble(network, vi=self.vi)
         self._bounds_array = np.column_stack([self.system.lb, self.system.ub])
         self.build_time_s = time.perf_counter() - t0
         if method == "auto":
@@ -115,6 +127,8 @@ class BatchLPSolver:
         self.n_solves = 0
         self.n_fallbacks = 0  # solves completed by a different HiGHS algorithm
         self.solve_time_s = 0.0
+        #: canonical metric spec -> (metric, dense coefficient vector)
+        self._dense_cache: dict[str, tuple[LinearMetric, np.ndarray]] = {}
 
     # ------------------------------------------------------------------ #
     def optimize(self, metric: LinearMetric, sense: str) -> float:
@@ -127,10 +141,17 @@ class BatchLPSolver:
             raise ValueError(f"sense must be 'min' or 'max', got {sense!r}")
         sign = 1.0 if sense == "min" else -1.0
         t0 = time.perf_counter()
-        res = solve_lp_core(sign * c, self.system, self.method, self._bounds_array)
+        # min uses the caller's vector as-is; max negates into a scratch
+        # copy so cached coefficient vectors are never mutated.
+        res, method_used = solve_lp_core(
+            c if sense == "min" else np.negative(c),
+            self.system,
+            self.method,
+            self._bounds_array,
+        )
         self.solve_time_s += time.perf_counter() - t0
         self.n_solves += 1
-        if getattr(res, "method_used", self.method) != self.method:
+        if method_used != self.method:
             self.n_fallbacks += 1
         if not res.success:
             raise SolverError(
@@ -141,8 +162,11 @@ class BatchLPSolver:
     def bound(self, metric: LinearMetric) -> Interval:
         """[min, max] of one metric — one dense vector, two solves."""
         c = metric.dense(self.system.n_variables)
-        lo = self._optimize_dense(c, "min", metric.name) + metric.constant
-        hi = self._optimize_dense(c, "max", metric.name) + metric.constant
+        return self._bound_dense(metric.name, c, metric.constant)
+
+    def _bound_dense(self, name: str, c: np.ndarray, constant: float) -> Interval:
+        lo = self._optimize_dense(c, "min", name) + constant
+        hi = self._optimize_dense(c, "max", name) + constant
         if lo > hi:  # round-off on a degenerate (point) interval
             lo, hi = hi, lo
         return Interval(lower=lo, upper=hi)
@@ -160,6 +184,16 @@ class BatchLPSolver:
         }[name]
         return builder(self.network, self.vi, k)
 
+    def _dense_for(self, spec: str, reference: int) -> tuple[LinearMetric, np.ndarray]:
+        """(metric, dense coefficients) for a spec, densified exactly once."""
+        key = f"{spec}@{reference}" if spec == "system_throughput" else spec
+        hit = self._dense_cache.get(key)
+        if hit is None:
+            metric = self._metric_for(spec, reference)
+            hit = (metric, metric.dense(self.system.n_variables))
+            self._dense_cache[key] = hit
+        return hit
+
     def bound_specs(
         self, specs="standard", reference: int = 0
     ) -> dict[str, Interval]:
@@ -169,7 +203,8 @@ class BatchLPSolver:
         for spec in expanded:
             if spec == "response_time":
                 continue  # derived below
-            out[spec] = self.bound(self._metric_for(spec, reference))
+            metric, c = self._dense_for(spec, reference)
+            out[spec] = self._bound_dense(metric.name, c, metric.constant)
         if "response_time" in expanded:
             x = out["system_throughput"]
             N = self.network.population

@@ -32,6 +32,7 @@ from repro.baselines.mva import mva
 from repro.core.bounds import Interval
 from repro.network.exact import solve_exact
 from repro.network.model import ClosedNetwork
+from repro.network.statespace import StateSpaceCache, expected_state_count
 from repro.qbd.mapm1 import MapM1Queue
 from repro.runtime.batch import BatchLPSolver
 from repro.runtime.cache import ResultCache
@@ -217,12 +218,21 @@ def _solve_lp(
             "t_build_s": solver.build_time_s,
             "t_solve_s": solver.solve_time_s,
             "n_variables": solver.system.n_variables,
+            "n_rows": solver.system.n_rows,
             "n_lp_solves": solver.n_solves,
             "lp_method": solver.method,
             "lp_fallbacks": solver.n_fallbacks,
+            # population sweeps reuse one cached assembly plan per topology
+            "assembly_plan_cached": solver.plan_from_cache,
             "certified": True,
         },
     )
+
+
+#: Process-wide state-space component cache for the exact sweep path: one
+#: phase layout (digits + masks) per topology, one composition enumeration
+#: per (N, M) — population sweeps stop re-enumerating phase digits.
+_statespace_cache = StateSpaceCache()
 
 
 def _solve_exact(
@@ -231,7 +241,16 @@ def _solve_exact(
     ctmc_method: str = "auto",
     max_states: int = 2_000_000,
 ) -> SolveResult:
-    sol = solve_exact(network, method=ctmc_method, max_states=max_states)
+    # Never enumerate (or cache) a space the guard would refuse anyway;
+    # solve_exact re-raises its MemoryError on the space=None path.
+    space = (
+        _statespace_cache.space_for(network)
+        if expected_state_count(network) <= max_states
+        else None
+    )
+    sol = solve_exact(
+        network, method=ctmc_method, max_states=max_states, space=space
+    )
     M = network.n_stations
     x = sol.system_throughput(reference)
     return _make_result(

@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: test lint docs docs-serve bench bench-large clean
+.PHONY: test lint docs docs-serve bench bench-large smoke-open clean
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -27,6 +27,12 @@ bench:
 # the >= 5x assembly speedup and regenerates the tracked perf baseline.
 bench-large:
 	REPRO_BENCH_PRESET=large $(PYTHON) -m pytest benchmarks/test_bench_lp_scaling.py -q
+
+# End-to-end smoke of an open-network scenario through the registry
+# cache: render the spec, lint it, solve via qbd twice (the second solve
+# must replay from the disk cache), and cross-check against the simulator.
+smoke-open:
+	$(PYTHON) benchmarks/smoke_open_network.py
 
 clean:
 	rm -rf site .repro-cache .pytest_cache

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""End-to-end smoke of an open-network scenario through the registry cache.
+
+Exercises the whole ISSUE-4 pipeline in one shot (CI's ``smoke-open``
+target): render the catalog scenario to YAML, lint it with the validate
+CLI, compile it back, solve via the lifted ``qbd`` adapter twice — the
+second solve must replay from the disk cache — and cross-check station
+throughputs against a seeded simulation (<= 5% disagreement fails).
+Exit status 0 means the open-network path works end to end.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import tempfile
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+if SRC.is_dir() and str(SRC) not in sys.path:  # run from a source checkout
+    sys.path.insert(0, str(SRC))
+
+SCENARIO = "open-bursty-tandem"
+
+
+def main() -> int:
+    """Run the smoke pipeline; returns a process exit code."""
+    tmp = tempfile.mkdtemp(prefix="repro-smoke-")
+    os.environ["REPRO_CACHE_DIR"] = os.path.join(tmp, "cache")
+
+    from repro.runtime import SolverRegistry
+    from repro.runtime.cache import ResultCache
+    from repro.scenarios import get_scenario, load_spec, network_from_spec
+    from repro.scenarios.cli import main as cli_main
+    from repro.scenarios.spec import dump_spec
+
+    # 1. Declare purely in YAML (render -> file -> validate -> compile).
+    spec_path = os.path.join(tmp, f"{SCENARIO}.yaml")
+    with open(spec_path, "w", encoding="utf-8") as fh:
+        fh.write(dump_spec(get_scenario(SCENARIO).spec()))
+    if cli_main(["validate", spec_path]) != 0:
+        print("FAIL: validate rejected the rendered spec", file=sys.stderr)
+        return 1
+    net = network_from_spec(load_spec(spec_path))
+
+    # 2. Solve via qbd, then replay through a *fresh* registry so the hit
+    # must come from the on-disk tier (exercises JSON round-tripping of
+    # open-network results: population=None, open extras).
+    registry = SolverRegistry(cache=ResultCache())
+    first = registry.solve(net, "qbd")
+    replay_registry = SolverRegistry(cache=ResultCache())
+    replay = replay_registry.solve(net, "qbd")
+    if not replay.from_cache:
+        print("FAIL: qbd solve did not replay from the disk cache", file=sys.stderr)
+        return 1
+    if replay.population is not None or replay.to_dict() != first.to_dict():
+        print("FAIL: disk replay does not round-trip the result", file=sys.stderr)
+        return 1
+
+    # 3. Cross-check against the simulator (acceptance: <= 5%).
+    sim = registry.solve(net, "sim", rng=2024)
+    for k, name in enumerate(first.station_names):
+        a = first.throughput[k].midpoint
+        b = sim.throughput[k].midpoint
+        gap = abs(a - b) / a
+        print(f"  {name}: qbd X={a:.4f}  sim X={b:.4f}  gap={100 * gap:.2f}%")
+        if gap > 0.05:
+            print(f"FAIL: {name} throughput gap {gap:.3f} > 5%", file=sys.stderr)
+            return 1
+
+    stats = replay_registry.cache_stats()
+    if stats.get("disk_hits", 0) < 1:
+        print(f"FAIL: replay did not hit the disk tier: {stats}", file=sys.stderr)
+        return 1
+    print(
+        f"smoke OK: {SCENARIO} via qbd (disk-cache replay) + sim agree; "
+        f"replay cache stats {stats}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

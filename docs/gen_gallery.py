@@ -45,11 +45,25 @@ def render_scenario(sc) -> str:
         lines.append("")
     lines.append(sc.description)
     lines.append("")
-    lines.append(
-        f"Model: {net.n_stations} stations, default population "
-        f"{sc.default_population}, suggested sweep "
-        f"{list(sc.populations)}."
-    )
+    if net.kind == "open":
+        lines.append(
+            f"Model: open, {net.n_stations} stations, external arrival "
+            f"rate {net.arrivals.rate:.4g} (offered utilizations "
+            f"{[round(float(r), 3) for r in net.open_utilizations]})."
+        )
+    elif net.kind == "mixed":
+        lines.append(
+            f"Model: mixed, {net.n_stations} stations, default closed "
+            f"population {sc.default_population} plus an open chain at "
+            f"rate {net.arrivals.rate:.4g}; suggested sweep "
+            f"{list(sc.populations)}."
+        )
+    else:
+        lines.append(
+            f"Model: {net.n_stations} stations, default population "
+            f"{sc.default_population}, suggested sweep "
+            f"{list(sc.populations)}."
+        )
     lines.append("")
     if sc.defaults:
         lines.append("| parameter | default |")
@@ -57,9 +71,10 @@ def render_scenario(sc) -> str:
         for key, value in sc.defaults.items():
             lines.append(f"| `{key}` | `{value!r}` |")
         lines.append("")
+    solve_method = {"open": "qbd", "mixed": "sim"}.get(net.kind, "mva")
     lines.append("```bash")
     lines.append(f"python -m repro.scenarios show {sc.name}")
-    lines.append(f"python -m repro.scenarios solve {sc.name} --method mva")
+    lines.append(f"python -m repro.scenarios solve {sc.name} --method {solve_method}")
     lines.append("```")
     lines.append("")
     return "\n".join(lines)

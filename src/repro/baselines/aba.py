@@ -17,7 +17,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.network.model import ClosedNetwork
+from repro.network.model import Network, require_closed
 
 __all__ = ["AbaBounds", "aba_bounds"]
 
@@ -54,12 +54,13 @@ class AbaBounds:
         )
 
 
-def aba_bounds(network: ClosedNetwork) -> AbaBounds:
+def aba_bounds(network: Network) -> AbaBounds:
     """Compute ABA bounds from the network's service demands.
 
     Only first moments enter — ABA is blind to variability *and* to
     temporal dependence, which is exactly the gap Figure 4 illustrates.
     """
+    require_closed(network, "aba")
     is_delay = np.array([s.kind == "delay" for s in network.stations])
     demands = network.service_demands
     Z = float(demands[is_delay].sum())

@@ -17,7 +17,7 @@ from dataclasses import dataclass
 
 
 
-from repro.network.model import ClosedNetwork
+from repro.network.model import Network, require_closed
 from repro.utils.errors import NotSupportedError
 
 __all__ = ["BjbBounds", "bjb_bounds"]
@@ -40,8 +40,9 @@ class BjbBounds:
         return self.population / self.throughput_lower
 
 
-def bjb_bounds(network: ClosedNetwork) -> BjbBounds:
+def bjb_bounds(network: Network) -> BjbBounds:
     """Balanced job bounds for an all-queue closed network."""
+    require_closed(network, "bjb")
     if any(s.kind != "queue" for s in network.stations):
         raise NotSupportedError(
             "balanced job bounds are implemented for all-queue networks "

@@ -27,7 +27,7 @@ import numpy as np
 
 from repro.baselines.mva import mva
 from repro.maps.builders import exponential
-from repro.network.model import ClosedNetwork
+from repro.network.model import Network, require_closed
 from repro.network.stations import Station, queue
 from repro.utils.errors import SolverError
 
@@ -40,7 +40,7 @@ _MIN_RATE = 1e-9
 class DecompositionResult:
     """Phase-conditional decomposition estimates (approximate!)."""
 
-    network: ClosedNetwork
+    network: Network
     system_throughput: float
     throughput: np.ndarray
     utilization: np.ndarray
@@ -64,13 +64,14 @@ def _conditional_station(st: Station, phase: int) -> Station:
                    servers=st.servers)
 
 
-def decomposition(network: ClosedNetwork) -> DecompositionResult:
+def decomposition(network: Network) -> DecompositionResult:
     """Courtois decomposition-aggregation estimate of mean performance.
 
     Exact when every station is exponential (single phase configuration);
     an *approximation* otherwise, with error growing in population for
     autocorrelated service — reproduced by ``repro.experiments.fig4``.
     """
+    require_closed(network, "decomposition")
     M = network.n_stations
     phase_axes = [range(st.phases) for st in network.stations]
     weights_per_station = [st.service.phase_stationary for st in network.stations]
@@ -86,7 +87,7 @@ def decomposition(network: ClosedNetwork) -> DecompositionResult:
         )
         if weight <= 0.0:
             continue
-        cond_net = ClosedNetwork(
+        cond_net = Network(
             [
                 _conditional_station(st, combo[k])
                 for k, st in enumerate(network.stations)

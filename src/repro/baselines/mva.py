@@ -14,7 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.network.model import ClosedNetwork
+from repro.network.model import Network, require_closed
 from repro.utils.errors import NotSupportedError, ValidationError
 
 __all__ = ["MvaResult", "mva"]
@@ -29,7 +29,7 @@ class MvaResult:
     :meth:`repro.network.ExactSolution.system_throughput`.
     """
 
-    network: ClosedNetwork
+    network: Network
     system_throughput: float
     throughput: np.ndarray
     utilization: np.ndarray
@@ -42,7 +42,7 @@ class MvaResult:
         return self.network.population / self.system_throughput
 
 
-def mva(network: ClosedNetwork) -> MvaResult:
+def mva(network: Network) -> MvaResult:
     """Exact MVA recursion over populations ``1..N``.
 
     Requires exponential service everywhere (product form).  Queue stations
@@ -50,6 +50,7 @@ def mva(network: ClosedNetwork) -> MvaResult:
     residence time.  Multiserver stations are not supported (load-dependent
     MVA is out of scope for the baselines the paper compares against).
     """
+    require_closed(network, "mva")
     for st in network.stations:
         if st.phases != 1:
             raise ValidationError(

@@ -47,7 +47,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.core.variables import VariableIndex
-from repro.network.model import ClosedNetwork
+from repro.network.model import Network
 from repro.utils.errors import NotSupportedError
 
 __all__ = [
@@ -290,7 +290,7 @@ class _BlockBuilder:
 # topology keying
 # ---------------------------------------------------------------------- #
 def topology_key(
-    network: ClosedNetwork,
+    network: Network,
     triples: "bool | None" = None,
     include_redundant: bool = False,
 ) -> str:
@@ -312,7 +312,7 @@ def topology_key(
     return h.hexdigest()
 
 
-def _resolve_triples(network: ClosedNetwork, triples: "bool | None") -> bool:
+def _resolve_triples(network: Network, triples: "bool | None") -> bool:
     M = network.n_stations
     return (M >= 3) if triples is None else (bool(triples) and M >= 3)
 
@@ -345,7 +345,7 @@ class AssemblyPlan:
 
     def __init__(
         self,
-        network: ClosedNetwork,
+        network: Network,
         triples: "bool | None" = None,
         include_redundant: bool = False,
     ) -> None:
@@ -418,7 +418,7 @@ class AssemblyPlan:
                 self.h_pairs.append((j, k, third))
 
     # ------------------------------------------------------------------ #
-    def matches(self, network: ClosedNetwork) -> bool:
+    def matches(self, network: Network) -> bool:
         """True when ``network`` shares this plan's topology (any ``N``)."""
         return (
             network.n_stations == self.M
@@ -427,7 +427,7 @@ class AssemblyPlan:
         )
 
     def assemble(
-        self, network: ClosedNetwork, vi: "VariableIndex | None" = None
+        self, network: Network, vi: "VariableIndex | None" = None
     ) -> ConstraintSystem:
         """Materialize the constraint system at ``network.population``.
 
@@ -455,7 +455,7 @@ class _Assembler:
     """One :meth:`AssemblyPlan.assemble` invocation (per-N state)."""
 
     def __init__(
-        self, plan: AssemblyPlan, network: ClosedNetwork, vi: VariableIndex
+        self, plan: AssemblyPlan, network: Network, vi: VariableIndex
     ) -> None:
         self.plan = plan
         self.net = network
@@ -1123,7 +1123,7 @@ class AssemblyCache:
 
     def plan_for(
         self,
-        network: ClosedNetwork,
+        network: Network,
         triples: "bool | None" = None,
         include_redundant: bool = False,
     ) -> AssemblyPlan:
@@ -1169,7 +1169,7 @@ def get_assembly_cache() -> AssemblyCache:
 
 
 def assemble(
-    network: ClosedNetwork,
+    network: Network,
     vi: "VariableIndex | None" = None,
     include_redundant: bool = False,
     triples: "bool | None" = None,

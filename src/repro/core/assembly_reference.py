@@ -18,7 +18,7 @@ import scipy.sparse as sp
 
 from repro.core.assembly import ConstraintSystem
 from repro.core.variables import VariableIndex
-from repro.network.model import ClosedNetwork
+from repro.network.model import Network
 from repro.utils.errors import NotSupportedError
 
 __all__ = ["build_constraints_reference"]
@@ -62,7 +62,7 @@ class _RowBuilder:
 
 
 def _source_arrival_terms(
-    network: ClosedNetwork, vi: VariableIndex, j: int, k: int, n: int, h: int
+    network: Network, vi: VariableIndex, j: int, k: int, n: int, h: int
 ) -> tuple[np.ndarray, np.ndarray]:
     """(cols, vals) of the arrival-rate expression from station j into k,
     conditioned on ``{n_k = n, h_k = h}``, *excluding* the routing factor.
@@ -86,7 +86,7 @@ def _source_arrival_terms(
 
 
 def build_constraints_reference(
-    network: ClosedNetwork,
+    network: Network,
     vi: VariableIndex | None = None,
     include_redundant: bool = False,
     triples: bool | None = None,

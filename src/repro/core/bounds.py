@@ -16,7 +16,7 @@ from dataclasses import dataclass
 from repro.core.constraints import ConstraintSystem, build_constraints
 from repro.core.lp import optimize_metric
 from repro.core.objectives import LinearMetric, system_throughput_metric
-from repro.network.model import ClosedNetwork
+from repro.network.model import Network, require_closed
 
 __all__ = ["Interval", "BoundsResult", "bound_metric", "solve_bounds", "response_time_bounds"]
 
@@ -54,7 +54,7 @@ class Interval:
 class BoundsResult:
     """Bounds on the standard metric set of a network."""
 
-    network: ClosedNetwork
+    network: Network
     utilization: list[Interval]
     throughput: list[Interval]
     queue_length: list[Interval]
@@ -84,11 +84,12 @@ class BoundsResult:
 
 
 def bound_metric(
-    network: ClosedNetwork,
+    network: Network,
     metric: LinearMetric,
     system: ConstraintSystem | None = None,
 ) -> Interval:
     """Exact [min, max] of a linear metric over the marginal polytope."""
+    require_closed(network, "lp")
     system = system or build_constraints(network)
     lo = optimize_metric(system, metric, "min").value
     hi = optimize_metric(system, metric, "max").value
@@ -98,12 +99,13 @@ def bound_metric(
 
 
 def response_time_bounds(
-    network: ClosedNetwork,
+    network: Network,
     reference: int = 0,
     system: ConstraintSystem | None = None,
     triples: bool | None = None,
 ) -> Interval:
     """Response-time bounds via Little's law on system-throughput bounds."""
+    require_closed(network, "lp")
     system = system or build_constraints(network, triples=triples)
     vi = system.vi
     x_int = bound_metric(network, system_throughput_metric(network, vi, reference), system)
@@ -112,7 +114,7 @@ def response_time_bounds(
 
 
 def solve_bounds(
-    network: ClosedNetwork,
+    network: Network,
     reference: int = 0,
     include_redundant: bool = False,
     triples: bool | None = None,

@@ -52,7 +52,7 @@ from repro.core.assembly import (
 )
 from repro.core.assembly_reference import build_constraints_reference
 from repro.core.variables import VariableIndex
-from repro.network.model import ClosedNetwork
+from repro.network.model import Network, require_closed
 
 __all__ = [
     "ConstraintSystem",
@@ -62,7 +62,7 @@ __all__ = [
 
 
 def build_constraints(
-    network: ClosedNetwork,
+    network: Network,
     vi: VariableIndex | None = None,
     include_redundant: bool = False,
     triples: bool | None = None,
@@ -93,6 +93,7 @@ def build_constraints(
         The :class:`~repro.core.assembly.AssemblyCache` to look the plan up
         in; ``None`` uses the process-wide default cache.
     """
+    require_closed(network, "lp")
     if vi is not None and triples is None:
         # A pre-built index fixes the constraint tier (seed semantics:
         # the families consult vi.triples, not the keyword).

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.variables import VariableIndex
-from repro.network.model import ClosedNetwork
+from repro.network.model import Network
 
 __all__ = [
     "LinearMetric",
@@ -47,14 +47,14 @@ class LinearMetric:
         return float(x[self.cols] @ self.vals) + self.constant
 
 
-def _station_grid(network: ClosedNetwork, k: int):
+def _station_grid(network: Network, k: int):
     N = network.population
     Kk = network.stations[k].phases
     nn, hh = np.meshgrid(np.arange(N + 1), np.arange(Kk), indexing="ij")
     return nn, hh
 
 
-def throughput_metric(network: ClosedNetwork, vi: VariableIndex, k: int) -> LinearMetric:
+def throughput_metric(network: Network, vi: VariableIndex, k: int) -> LinearMetric:
     """Departure rate of station k: ``sum_{n,h} c_k(n) e_k(h) pi_k(n,h)``."""
     st = network.stations[k]
     nn, hh = _station_grid(network, k)
@@ -68,7 +68,7 @@ def throughput_metric(network: ClosedNetwork, vi: VariableIndex, k: int) -> Line
     )
 
 
-def utilization_metric(network: ClosedNetwork, vi: VariableIndex, k: int) -> LinearMetric:
+def utilization_metric(network: Network, vi: VariableIndex, k: int) -> LinearMetric:
     """Busy probability ``P[n_k >= 1] = 1 - sum_h pi_k(0, h)``."""
     st = network.stations[k]
     h = np.arange(st.phases)
@@ -81,7 +81,7 @@ def utilization_metric(network: ClosedNetwork, vi: VariableIndex, k: int) -> Lin
 
 
 def idle_probability_metric(
-    network: ClosedNetwork, vi: VariableIndex, k: int
+    network: Network, vi: VariableIndex, k: int
 ) -> LinearMetric:
     """``P[n_k = 0]`` — complements the utilization metric."""
     st = network.stations[k]
@@ -93,13 +93,13 @@ def idle_probability_metric(
     )
 
 
-def queue_length_metric(network: ClosedNetwork, vi: VariableIndex, k: int) -> LinearMetric:
+def queue_length_metric(network: Network, vi: VariableIndex, k: int) -> LinearMetric:
     """Mean queue length ``E[n_k]``."""
     return queue_length_moment_metric(network, vi, k, order=1)
 
 
 def queue_length_moment_metric(
-    network: ClosedNetwork, vi: VariableIndex, k: int, order: int
+    network: Network, vi: VariableIndex, k: int, order: int
 ) -> LinearMetric:
     """Raw queue-length moment ``E[n_k^order]``."""
     if order < 1:
@@ -115,7 +115,7 @@ def queue_length_moment_metric(
 
 
 def system_throughput_metric(
-    network: ClosedNetwork, vi: VariableIndex, reference: int = 0
+    network: Network, vi: VariableIndex, reference: int = 0
 ) -> LinearMetric:
     """System throughput measured at the reference station (``v_ref = 1``)."""
     m = throughput_metric(network, vi, reference)

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.network.model import ClosedNetwork
+from repro.network.model import Network
 
 __all__ = ["VariableIndex"]
 
@@ -43,7 +43,7 @@ class VariableIndex:
     applies).
     """
 
-    def __init__(self, network: ClosedNetwork, triples: bool | None = None) -> None:
+    def __init__(self, network: Network, triples: bool | None = None) -> None:
         self.network = network
         M = network.n_stations
         N = network.population

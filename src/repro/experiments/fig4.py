@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.experiments.common import ExperimentResult, cache_stats_delta
-from repro.network.model import ClosedNetwork
+from repro.network.model import Network
 from repro.runtime import SweepRunner, get_registry
 from repro.scenarios import get_scenario
 
@@ -44,7 +44,7 @@ class Fig4Config:
         return cls(workers=0)
 
 
-def tandem_network(N: int, cfg: Fig4Config) -> ClosedNetwork:
+def tandem_network(N: int, cfg: Fig4Config) -> Network:
     """The ``bursty-tandem`` scenario at this config's parameters."""
     return get_scenario("bursty-tandem").network(
         population=N,

@@ -22,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.experiments.common import ExperimentResult, cache_stats_delta
-from repro.network.model import ClosedNetwork
+from repro.network.model import Network
 from repro.runtime import SweepRunner, get_registry
 from repro.scenarios import get_scenario
 
@@ -55,7 +55,7 @@ class Fig8Config:
         return cls(workers=0)  # 0 -> one worker per point, capped at cpus
 
 
-def fig5_network(N: int, cfg: Fig8Config | None = None) -> ClosedNetwork:
+def fig5_network(N: int, cfg: Fig8Config | None = None) -> Network:
     """The ``fig5-case-study`` scenario at this config's parameters."""
     cfg = cfg or Fig8Config()
     return get_scenario("fig5-case-study").network(

@@ -20,7 +20,7 @@ from scipy.special import comb
 
 from repro.experiments.common import ExperimentResult, cache_stats_delta
 from repro.maps.fitting import fit_map2
-from repro.network.model import ClosedNetwork
+from repro.network.model import Network
 from repro.network.stations import queue
 from repro.runtime import get_registry
 
@@ -50,7 +50,7 @@ class ScalingConfig:
         return cls(points=((3, 50), (3, 100), (10, 50), (10, 100)))
 
 
-def ring_of_maps(M: int, N: int) -> ClosedNetwork:
+def ring_of_maps(M: int, N: int) -> Network:
     """Ring of M MAP(2) queues (the paper's 10-queue stress shape)."""
     routing = np.zeros((M, M))
     for j in range(M):
@@ -58,7 +58,7 @@ def ring_of_maps(M: int, N: int) -> ClosedNetwork:
     stations = [
         queue(f"q{j}", fit_map2(1.0 + 0.1 * j, 4.0 + j, 0.5)) for j in range(M)
     ]
-    return ClosedNetwork(stations, routing, N)
+    return Network(stations, routing, N)
 
 
 def run(config: ScalingConfig | None = None) -> ExperimentResult:

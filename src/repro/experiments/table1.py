@@ -20,7 +20,7 @@ import numpy as np
 
 from repro.experiments.common import ExperimentResult, cache_stats_delta
 from repro.maps.random import RandomMap2Config
-from repro.network.model import ClosedNetwork
+from repro.network.model import Network
 from repro.runtime import get_registry
 from repro.scenarios import get_scenario
 from repro.utils.rng import as_rng
@@ -47,7 +47,7 @@ class Table1Config:
         return cls(n_models=10_000, populations=tuple(range(1, 101)))
 
 
-def random_model(rng, cfg: Table1Config, population: int) -> ClosedNetwork:
+def random_model(rng, cfg: Table1Config, population: int) -> Network:
     """One draw of the ``random-3q`` scenario in the paper's style.
 
     Passing the shared generator ``rng`` draws successive distinct models

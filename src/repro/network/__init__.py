@@ -1,8 +1,21 @@
-"""Closed MAP queueing networks: model definition and exact analysis."""
+"""MAP queueing networks: unified model definition and exact analysis.
+
+:class:`Network` subsumes closed, open, and mixed networks via population
+descriptors (:class:`Closed`, :class:`OpenArrivals`, :class:`Mixed`);
+:class:`ClosedNetwork` is a deprecated alias kept for fingerprint-stable
+backward compatibility.
+"""
 
 from repro.network.stations import Station, queue, delay, multiserver
-from repro.network.routing import validate_routing, visit_ratios, routing_graph
-from repro.network.model import ClosedNetwork
+from repro.network.population import Closed, OpenArrivals, Mixed
+from repro.network.routing import (
+    validate_routing,
+    validate_open_routing,
+    visit_ratios,
+    open_visit_ratios,
+    routing_graph,
+)
+from repro.network.model import ClosedNetwork, Network, require_closed
 from repro.network.statespace import NetworkStateSpace, PhaseLayout, StateSpaceCache
 from repro.network.exact import ExactSolution, build_generator, solve_exact
 
@@ -11,10 +24,17 @@ __all__ = [
     "queue",
     "delay",
     "multiserver",
+    "Closed",
+    "OpenArrivals",
+    "Mixed",
     "validate_routing",
+    "validate_open_routing",
     "visit_ratios",
+    "open_visit_ratios",
     "routing_graph",
+    "Network",
     "ClosedNetwork",
+    "require_closed",
     "NetworkStateSpace",
     "PhaseLayout",
     "StateSpaceCache",

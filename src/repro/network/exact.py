@@ -27,16 +27,17 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.markov.ctmc import steady_state_ctmc
-from repro.network.model import ClosedNetwork
+from repro.network.model import Network, require_closed
 from repro.network.statespace import NetworkStateSpace, expected_state_count
 
 __all__ = ["build_generator", "solve_exact", "ExactSolution"]
 
 
 def build_generator(
-    network: ClosedNetwork, space: NetworkStateSpace | None = None
+    network: Network, space: NetworkStateSpace | None = None
 ) -> sp.csr_matrix:
     """Sparse CTMC generator of the network on its joint state space."""
+    require_closed(network, "exact")
     space = space or NetworkStateSpace(network)
     comps = space.comp.states
     n_phase = space.n_phase
@@ -124,7 +125,7 @@ class ExactSolution:
     ``pi`` reshaped as ``(compositions, phase_codes)``.
     """
 
-    network: ClosedNetwork
+    network: Network
     space: NetworkStateSpace
     pi: np.ndarray  # flat, length space.size
 
@@ -277,7 +278,7 @@ class ExactSolution:
 
 
 def solve_exact(
-    network: ClosedNetwork,
+    network: Network,
     method: str = "auto",
     max_states: int = 2_000_000,
     space: NetworkStateSpace | None = None,
@@ -300,6 +301,7 @@ def solve_exact(
         digit tables and masks are enumerated once per topology instead of
         once per point.
     """
+    require_closed(network, "exact")
     if space is None:
         # Guard with the closed-form count *before* enumerating: an
         # over-limit composition space would exhaust memory in __init__.

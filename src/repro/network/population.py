@@ -1,0 +1,189 @@
+"""Population descriptors: what drives jobs through a network.
+
+The unified :class:`~repro.network.model.Network` model is parameterized by
+*how work enters and leaves* rather than by a bare job count:
+
+* :class:`Closed` — a fixed population of ``n`` jobs circulates forever
+  (the paper's setting; no external source or sink).
+* :class:`OpenArrivals` — jobs arrive from an external MAP stream, visit
+  stations according to a substochastic routing matrix, and exit to a sink.
+* :class:`Mixed` — both at once: a closed chain of circulating jobs shares
+  the stations with an open chain of externally arriving jobs.
+
+Descriptors are plain frozen dataclasses; they carry no station indices, so
+one descriptor can parameterize many topologies.  Name/index resolution of
+the open chain's ``entry`` distribution happens when the
+:class:`~repro.network.model.Network` is constructed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping, Union
+
+from repro.maps.map import MAP
+from repro.utils.errors import ValidationError
+
+__all__ = ["Closed", "OpenArrivals", "Mixed", "PopulationLike"]
+
+
+@dataclass(frozen=True)
+class Closed:
+    """A closed chain: ``n`` jobs circulate with no arrivals or departures.
+
+    Attributes
+    ----------
+    n:
+        Number of circulating jobs (>= 1).
+    """
+
+    n: int
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.n, int) or isinstance(self.n, bool):
+            # Accept only values that are *exactly* integral (numpy ints,
+            # 3.0) — silently truncating 2.7 would solve a different model.
+            try:
+                as_int = int(self.n)
+                if as_int != self.n:
+                    raise ValueError
+            except (TypeError, ValueError):
+                raise ValidationError(
+                    f"Closed population must be an integer, got {self.n!r}"
+                ) from None
+            object.__setattr__(self, "n", as_int)
+        if self.n < 1:
+            raise ValidationError(f"population must be >= 1, got {self.n}")
+
+
+@dataclass(frozen=True)
+class OpenArrivals:
+    """An open chain fed by an external MAP arrival stream.
+
+    Attributes
+    ----------
+    map:
+        The arrival process; its fundamental rate is the external arrival
+        rate ``lambda``.  Order 1 gives Poisson arrivals, higher orders
+        carry burstiness and temporal dependence into the network.
+    entry:
+        Where arriving jobs enter: a station name, a station index, a
+        ``{name: probability}`` mapping, or a probability vector over the
+        station list.  ``None`` defers resolution to the routing spec's
+        ``source`` row (the declarative-spec path).
+    """
+
+    map: MAP
+    entry: Any = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.map, MAP):
+            raise ValidationError(
+                f"OpenArrivals.map must be a MAP, got {type(self.map).__name__}"
+            )
+
+    @property
+    def rate(self) -> float:
+        """External arrival rate ``lambda`` (the MAP's fundamental rate)."""
+        return float(self.map.rate)
+
+
+@dataclass(frozen=True)
+class Mixed:
+    """A closed chain and an open chain sharing the same stations.
+
+    Attributes
+    ----------
+    closed:
+        The circulating population (routes by the network's primary
+        ``routing`` matrix).
+    open:
+        The external arrival stream (routes by the network's
+        ``open_routing`` matrix, which admits a sink).
+    """
+
+    closed: Closed
+    open: OpenArrivals
+
+    def __post_init__(self) -> None:
+        if isinstance(self.closed, int):
+            object.__setattr__(self, "closed", Closed(self.closed))
+        if not isinstance(self.closed, Closed):
+            raise ValidationError(
+                f"Mixed.closed must be a Closed descriptor, got "
+                f"{type(self.closed).__name__}"
+            )
+        if not isinstance(self.open, OpenArrivals):
+            raise ValidationError(
+                f"Mixed.open must be an OpenArrivals descriptor, got "
+                f"{type(self.open).__name__}"
+            )
+
+
+#: Anything Network() accepts as its population argument: a bare int is
+#: shorthand for Closed(n).
+PopulationLike = Union[int, Closed, OpenArrivals, Mixed]
+
+
+def resolve_entry(
+    entry: Any, names: "list[str] | tuple[str, ...]"
+) -> "Any":
+    """Resolve an :class:`OpenArrivals` entry spec to a probability vector.
+
+    Parameters
+    ----------
+    entry:
+        Station name, station index, ``{name: prob}`` mapping, or an
+        ``(M,)`` probability vector.
+    names:
+        Station names, in index order.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(M,)`` vector summing to 1.
+    """
+    import numpy as np
+
+    M = len(names)
+    index = {name: i for i, name in enumerate(names)}
+    if entry is None:
+        raise ValidationError(
+            "open chain has no entry distribution: give OpenArrivals(entry=...) "
+            "or a 'source' row in the routing spec"
+        )
+    if isinstance(entry, str):
+        if entry not in index:
+            raise ValidationError(
+                f"entry station {entry!r} not found; stations are {list(names)}"
+            )
+        e = np.zeros(M)
+        e[index[entry]] = 1.0
+        return e
+    if isinstance(entry, (int, np.integer)) and not isinstance(entry, bool):
+        if not 0 <= entry < M:
+            raise ValidationError(f"entry station index {entry} out of range")
+        e = np.zeros(M)
+        e[entry] = 1.0
+        return e
+    if isinstance(entry, Mapping):
+        e = np.zeros(M)
+        for name, p in entry.items():
+            if name not in index:
+                raise ValidationError(
+                    f"entry: unknown station {name!r}; stations are {list(names)}"
+                )
+            e[index[name]] = float(p)
+    else:
+        e = np.asarray(entry, dtype=float)
+        if e.shape != (M,):
+            raise ValidationError(
+                f"entry vector must have shape ({M},), got {e.shape}"
+            )
+    if np.any(e < -1e-12):
+        raise ValidationError("entry probabilities must be nonnegative")
+    if abs(e.sum() - 1.0) > 1e-9:
+        raise ValidationError(
+            f"entry probabilities must sum to 1, got {e.sum():.6g}"
+        )
+    return np.clip(e, 0.0, 1.0)

@@ -1,4 +1,11 @@
-"""Routing matrices and visit ratios for single-class closed networks."""
+"""Routing matrices, visit ratios, and traffic equations.
+
+Closed chains use row-stochastic ``(M, M)`` matrices (jobs are conserved);
+open chains use *substochastic* rows whose deficit ``1 - sum(P[j])`` is the
+probability of exiting to the sink.  The augmented matrix — ``P`` plus the
+implicit sink column — is row-stochastic by construction, which is the
+invariant :func:`validate_open_routing` enforces.
+"""
 
 from __future__ import annotations
 
@@ -7,7 +14,49 @@ import numpy as np
 
 from repro.utils.errors import ValidationError
 
-__all__ = ["validate_routing", "visit_ratios", "routing_graph"]
+__all__ = [
+    "validate_routing",
+    "validate_open_routing",
+    "visit_ratios",
+    "open_visit_ratios",
+    "open_reachable_stations",
+    "routing_graph",
+]
+
+#: Probability below which an edge/entry is treated as absent in
+#: reachability analyses (shared by model, spec, and builder validation).
+EDGE_TOL = 1e-15
+
+
+def open_reachable_stations(P: np.ndarray, entry: np.ndarray) -> "set[int]":
+    """Stations reachable from the external source over an open routing.
+
+    The single source of truth for "which stations can the open chain
+    visit": :func:`validate_open_routing`, the spec compiler's
+    declared-row check, and the builder's explicit-sink check all build on
+    this, so the no-silent-leak invariant lives in one place.
+
+    Parameters
+    ----------
+    P:
+        Substochastic internal routing matrix.
+    entry:
+        ``(M,)`` entry probability vector.
+
+    Returns
+    -------
+    set[int]
+        Indices of stations reachable from the source.
+    """
+    P = np.asarray(P, dtype=float)
+    M = P.shape[0]
+    G = routing_graph(P)
+    source = M
+    G.add_node(source)
+    for k in range(M):
+        if entry[k] > EDGE_TOL:
+            G.add_edge(source, k)
+    return {k for k in nx.descendants(G, source) if k < M}
 
 
 def validate_routing(P: np.ndarray, n_stations: int) -> np.ndarray:
@@ -37,14 +86,93 @@ def validate_routing(P: np.ndarray, n_stations: int) -> np.ndarray:
     return np.clip(P, 0.0, 1.0)
 
 
+def validate_open_routing(
+    P: np.ndarray,
+    entry: np.ndarray,
+    n_stations: int,
+    require_full_coverage: bool = True,
+) -> np.ndarray:
+    """Validate an open chain's substochastic routing matrix.
+
+    Requirements: shape ``(M, M)``, entries in [0, 1], every row sums to at
+    most 1 (the deficit is the sink column, so the augmented matrix is
+    row-stochastic), at least some exit probability exists, and the sink is
+    reachable from every station the open chain can visit (no trapped
+    subnetwork — jobs caught in one would accumulate without bound).  With
+    ``require_full_coverage`` every station must additionally be reachable
+    from the entry distribution; mixed networks pass ``False`` because some
+    of their stations legitimately serve only the closed chain.
+
+    Parameters
+    ----------
+    P:
+        Substochastic internal routing matrix.
+    entry:
+        ``(M,)`` entry probability vector (resolved, sums to 1).
+    n_stations:
+        Number of stations M.
+    require_full_coverage:
+        Demand every station be reachable from the source (pure open
+        networks, where an unreachable station is dead weight).
+
+    Returns
+    -------
+    numpy.ndarray
+        The validated matrix (clipped to [0, 1], read-only semantics left
+        to the caller).
+    """
+    P = np.asarray(P, dtype=float)
+    if P.shape != (n_stations, n_stations):
+        raise ValidationError(
+            f"routing matrix must be {n_stations}x{n_stations}, got {P.shape}"
+        )
+    if np.any(P < -1e-12) or np.any(P > 1.0 + 1e-12):
+        raise ValidationError("routing probabilities must lie in [0, 1]")
+    rowsum = P.sum(axis=1)
+    if np.any(rowsum > 1.0 + 1e-9):
+        raise ValidationError(
+            "open routing rows (including the sink column) must sum to at "
+            f"most 1; got row sums {rowsum}"
+        )
+    exit_prob = 1.0 - rowsum
+    if exit_prob.max() < 1e-12:
+        raise ValidationError(
+            "open routing has no exit: at least one row must route "
+            "probability to the sink"
+        )
+    reach_from_source = open_reachable_stations(P, entry)
+    unreachable = [k for k in range(n_stations) if k not in reach_from_source]
+    if require_full_coverage and unreachable:
+        raise ValidationError(
+            f"stations {unreachable} are unreachable from the external "
+            "source; remove them or fix the routing"
+        )
+    # Drain check on the sink-augmented graph, over visited stations only.
+    G = routing_graph(P)
+    sink = n_stations + 1
+    for k in range(n_stations):
+        if exit_prob[k] > 1e-12:
+            G.add_edge(k, sink)
+    no_drain = [
+        k for k in sorted(reach_from_source)
+        if sink not in nx.descendants(G, k)
+    ]
+    if no_drain:
+        raise ValidationError(
+            f"the sink is unreachable from stations {no_drain}: jobs routed "
+            "there would accumulate without bound (trapped subnetwork)"
+        )
+    return np.clip(P, 0.0, 1.0)
+
+
 def routing_graph(P: np.ndarray) -> "nx.DiGraph":
-    """Directed graph with an edge j->k wherever ``P[j,k] > 0``."""
+    """Directed graph with an edge j->k wherever ``P[j,k] > EDGE_TOL``."""
     M = P.shape[0]
     G = nx.DiGraph()
     G.add_nodes_from(range(M))
     for j in range(M):
         for k in range(M):
-            if P[j, k] > 1e-15:
+            if P[j, k] > EDGE_TOL:
                 G.add_edge(j, k, weight=float(P[j, k]))
     return G
 
@@ -68,4 +196,37 @@ def visit_ratios(P: np.ndarray, reference: int = 0) -> np.ndarray:
     v = np.linalg.solve(A, b)
     if np.any(v < -1e-9):
         raise ValidationError("visit ratios came out negative; routing is invalid")
+    return np.clip(v, 0.0, None)
+
+
+def open_visit_ratios(P: np.ndarray, entry: np.ndarray) -> np.ndarray:
+    """Traffic-equation visits ``v = e + v P``, i.e. ``v = e (I - P)^-1``.
+
+    ``v[k]`` is the mean number of visits one external arrival pays to
+    station ``k`` before exiting to the sink; per-station arrival rates are
+    ``lambda_k = lambda_ext * v[k]``.
+
+    Parameters
+    ----------
+    P:
+        Substochastic open routing matrix (validated).
+    entry:
+        ``(M,)`` entry probability vector.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(M,)`` visit vector (entries may exceed 1 under feedback).
+    """
+    P = np.asarray(P, dtype=float)
+    M = P.shape[0]
+    try:
+        v = np.linalg.solve(np.eye(M) - P.T, np.asarray(entry, dtype=float))
+    except np.linalg.LinAlgError as exc:
+        raise ValidationError(
+            "traffic equations are singular: the open routing does not "
+            "drain to the sink"
+        ) from exc
+    if np.any(v < -1e-9):
+        raise ValidationError("open visit ratios came out negative")
     return np.clip(v, 0.0, None)

@@ -26,7 +26,7 @@ from functools import cached_property
 import numpy as np
 
 from repro.markov.statespace import CompositionSpace
-from repro.network.model import ClosedNetwork
+from repro.network.model import Network, require_closed
 
 __all__ = [
     "NetworkStateSpace",
@@ -36,7 +36,7 @@ __all__ = [
 ]
 
 
-def expected_state_count(network: ClosedNetwork) -> int:
+def expected_state_count(network: Network) -> int:
     """Closed-form joint state count ``C(N+M-1, N) * prod(K_k)``.
 
     Costs nothing — use it to guard against enumerating a state space that
@@ -103,10 +103,14 @@ class NetworkStateSpace:
 
     def __init__(
         self,
-        network: ClosedNetwork,
+        network: Network,
         comp: "CompositionSpace | None" = None,
         phase_layout: "PhaseLayout | None" = None,
     ) -> None:
+        # A joint (population, phase) space only exists for a conserved
+        # job count; enumerating "the closed chain" of a mixed network
+        # would silently drop the open class.
+        require_closed(network, "exact")
         self.network = network
         M = network.n_stations
         if comp is not None and (comp.total, comp.parts) != (network.population, M):
@@ -230,7 +234,7 @@ class StateSpaceCache:
             self._layouts, key, lambda: PhaseLayout(key), self.max_layouts
         )
 
-    def space_for(self, network: ClosedNetwork) -> NetworkStateSpace:
+    def space_for(self, network: Network) -> NetworkStateSpace:
         """State space of ``network`` assembled from cached components."""
         return NetworkStateSpace(
             network,

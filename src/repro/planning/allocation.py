@@ -13,7 +13,7 @@ from dataclasses import dataclass
 
 from repro.core.bounds import Interval, response_time_bounds
 from repro.maps.operations import rescale
-from repro.network.model import ClosedNetwork
+from repro.network.model import Network
 from repro.network.stations import Station
 from repro.utils.errors import ValidationError
 
@@ -25,7 +25,7 @@ class ConfigurationScore:
     """A candidate configuration with its certified response-time interval."""
 
     label: str
-    network: ClosedNetwork
+    network: Network
     response_time: Interval
 
     @property
@@ -35,7 +35,7 @@ class ConfigurationScore:
 
 
 def rank_configurations(
-    candidates: "dict[str, ClosedNetwork] | list[tuple[str, ClosedNetwork]]",
+    candidates: "dict[str, Network] | list[tuple[str, Network]]",
     reference: int = 0,
     triples: bool | None = None,
 ) -> list[ConfigurationScore]:
@@ -76,12 +76,12 @@ def _speed_up(station: Station, factor: float) -> Station:
 
 
 def greedy_speed_allocation(
-    network: ClosedNetwork,
+    network: Network,
     total_budget: float,
     step: float = 1.25,
     reference: int = 0,
     triples: bool | None = None,
-) -> tuple[ClosedNetwork, list[ConfigurationScore]]:
+) -> tuple[Network, list[ConfigurationScore]]:
     """Allocate a multiplicative speed budget to minimize certified R.
 
     Repeatedly spends a factor ``step`` of speedup on whichever station

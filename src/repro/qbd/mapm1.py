@@ -32,6 +32,7 @@ class MapM1Queue:
 
     arrivals: MAP
     mu: float
+    label: "str | None" = None
 
     def __post_init__(self) -> None:
         if self.mu <= 0:
@@ -61,6 +62,7 @@ class MapM1Queue:
             A1=D0 - self.mu * I,
             A2=self.mu * I,
             B1=D0,
+            label=self.label,
         )
 
     # ------------------------------------------------------------------ #

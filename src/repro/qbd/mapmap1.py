@@ -36,6 +36,7 @@ class MapMap1Queue:
 
     arrivals: MAP
     service: MAP
+    label: "str | None" = None
 
     @property
     def offered_load(self) -> float:
@@ -63,7 +64,7 @@ class MapMap1Queue:
         A1 = np.kron(self.arrivals.D0, Is) + np.kron(Ia, self.service.D0)
         A2 = np.kron(Ia, self.service.D1)
         B1 = np.kron(self.arrivals.D0, Is)
-        return solve_qbd(A0=A0, A1=A1, A2=A2, B1=B1)
+        return solve_qbd(A0=A0, A1=A1, A2=A2, B1=B1, label=self.label)
 
     # ------------------------------------------------------------------ #
     # performance measures

@@ -17,14 +17,51 @@ solution of ``A0 + R A1 + R^2 A2 = 0`` (Neuts).
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from functools import cached_property
 
 import numpy as np
 
-from repro.utils.errors import SolverError, ValidationError
+from repro.utils.errors import NearInstabilityWarning, SolverError, ValidationError
 
-__all__ = ["solve_r_matrix", "QbdSolution", "solve_qbd"]
+__all__ = ["solve_r_matrix", "QbdSolution", "solve_qbd", "NEAR_INSTABILITY_EPS"]
+
+#: Default spectral-radius margin below 1 that triggers a
+#: :class:`~repro.utils.errors.NearInstabilityWarning`.
+NEAR_INSTABILITY_EPS = 1e-4
+
+
+def _check_drift(A0: np.ndarray, A1: np.ndarray, A2: np.ndarray, label: str) -> None:
+    """Fail fast on non-positive-recurrent QBDs via the mean-drift condition.
+
+    The phase process with generator ``A = A0 + A1 + A2`` has stationary
+    vector ``theta``; the QBD is positive recurrent iff the mean upward
+    drift ``theta A0 1`` is strictly below the downward drift
+    ``theta A2 1`` (Neuts).  Checking this *before* iterating turns the
+    unstable case from a long non-converging grind (or an opaque linear-
+    algebra error) into an immediate, structured :class:`SolverError`.
+    """
+    K = A0.shape[0]
+    A = A0 + A1 + A2
+    # theta A = 0, theta 1 = 1  (replace one equation by normalization)
+    B = A.T.copy()
+    B[-1, :] = 1.0
+    rhs = np.zeros(K)
+    rhs[-1] = 1.0
+    try:
+        theta = np.linalg.solve(B, rhs)
+    except np.linalg.LinAlgError:
+        return  # reducible phase process; let the iteration decide
+    ones = np.ones(K)
+    drift_up = float(theta @ A0 @ ones)
+    drift_down = float(theta @ A2 @ ones)
+    if drift_up >= drift_down * (1.0 - 1e-12):
+        raise SolverError(
+            f"{label}: QBD is not positive recurrent — mean upward drift "
+            f"{drift_up:.6g} >= downward drift {drift_down:.6g} (offered "
+            "load >= capacity); reduce the arrival rate or speed the server"
+        )
 
 
 def solve_r_matrix(
@@ -33,13 +70,36 @@ def solve_r_matrix(
     A2: np.ndarray,
     tol: float = 1e-13,
     max_iter: int = 200_000,
+    label: str | None = None,
+    near_instability_eps: float = NEAR_INSTABILITY_EPS,
 ) -> np.ndarray:
     """Minimal nonnegative solution ``R`` of ``A0 + R A1 + R^2 A2 = 0``.
 
-    Uses the classic functional iteration
-    ``R <- -(A0 + R^2 A2) A1^{-1}`` starting from 0, which converges
-    monotonically to the minimal solution for irreducible positive-
-    recurrent QBDs.  Spectral radius of ``R`` below 1 certifies stability.
+    Stability is decided *first* from the mean-drift condition, so an
+    unstable QBD raises a structured :class:`SolverError` immediately
+    instead of hanging in a non-converging iteration.  The stable case is
+    solved by logarithmic reduction (Latouche & Ramaswami), which converges
+    quadratically even arbitrarily close to the stability boundary — the
+    regime where the classical functional iteration needs hundreds of
+    thousands of steps.  When the spectral radius of ``R`` exceeds
+    ``1 - near_instability_eps``, a
+    :class:`~repro.utils.errors.NearInstabilityWarning` is emitted naming
+    ``label`` (e.g. the offending station), because queue-length moments
+    are then numerically extreme.
+
+    Parameters
+    ----------
+    A0, A1, A2:
+        Level-up, local, and level-down generator blocks.
+    tol:
+        Convergence tolerance on the stochasticity defect of ``G``.
+    max_iter:
+        Cap on functional-iteration steps of the fallback path (kept for
+        backward compatibility; logarithmic reduction needs ~50 steps).
+    label:
+        Context string for warnings/errors (e.g. ``"station 'db'"``).
+    near_instability_eps:
+        Spectral-radius margin below 1 that triggers the warning.
     """
     A0 = np.asarray(A0, dtype=float)
     A1 = np.asarray(A1, dtype=float)
@@ -54,28 +114,112 @@ def solve_r_matrix(
     if np.any(np.abs(rowsum) > 1e-8 * max(1.0, np.abs(A1).max())):
         raise ValidationError("A0 + A1 + A2 must have zero row sums")
 
+    where = label if label is not None else "QBD"
+    _check_drift(A0, A1, A2, where)
+
+    R = _r_by_logarithmic_reduction(A0, A1, A2, tol)
+    if R is None:  # pragma: no cover - numerical fallback
+        R = _r_by_functional_iteration(A0, A1, A2, tol, max_iter, where)
+    if np.any(R < -1e-9):
+        raise SolverError(f"{where}: R-matrix solve produced negative entries")
+    R = np.clip(R, 0.0, None)
+    sr = max(abs(v) for v in np.linalg.eigvals(R))
+    if sr >= 1.0 - 1e-10:
+        raise SolverError(
+            f"{where}: spectral radius of R is >= 1: the QBD is not "
+            "positive recurrent (offered load >= capacity)"
+        )
+    if sr > 1.0 - near_instability_eps:
+        warnings.warn(
+            NearInstabilityWarning(
+                f"{where}: spectral radius of R is {sr:.8f} > "
+                f"1 - {near_instability_eps:g}; the queue is stable but so "
+                "close to saturation that queue-length moments and tails "
+                "are numerically extreme"
+            ),
+            stacklevel=2,
+        )
+    return R
+
+
+def _r_by_logarithmic_reduction(
+    A0: np.ndarray, A1: np.ndarray, A2: np.ndarray, tol: float
+) -> "np.ndarray | None":
+    """Logarithmic-reduction solve of ``G``, lifted to ``R``.
+
+    Uniformizes the CTMC blocks to a DTMC (``G`` is invariant under
+    uniformization), runs Latouche–Ramaswami doubling until ``G`` is
+    stochastic to within ``tol``, then recovers
+    ``R = A0 (-(A1 + A0 G))^-1``.  Returns ``None`` if a reduction step
+    goes numerically singular (caller falls back to functional iteration).
+    """
+    K = A0.shape[0]
+    c = float(np.max(-np.diag(A1)))
+    if c <= 0:
+        return None
+    B0 = A0 / c
+    B1 = np.eye(K) + A1 / c
+    B2 = A2 / c
+    eye = np.eye(K)
+    try:
+        inv = np.linalg.solve(eye - B1, np.hstack([B0, B2]))
+    except np.linalg.LinAlgError:
+        return None
+    H, L = inv[:, :K], inv[:, K:]
+    G = L.copy()
+    T = H.copy()
+    for _ in range(200):
+        if np.abs(1.0 - G.sum(axis=1)).max() < tol or np.abs(T).max() < tol:
+            break
+        U = H @ L + L @ H
+        try:
+            sol = np.linalg.solve(eye - U, np.hstack([H @ H, L @ L]))
+        except np.linalg.LinAlgError:
+            return None
+        H, L = sol[:, :K], sol[:, K:]
+        G = G + T @ L
+        T = T @ H
+    else:
+        # 200 doublings cover 2^200 levels; not converging means the
+        # reduction stalled numerically (e.g. a reducible phase process
+        # the drift precheck could not classify).  Never build R from an
+        # unconverged G — defer to the functional iteration, which raises
+        # a structured SolverError on true non-convergence.
+        return None
+    U_mat = A1 + A0 @ G
+    try:
+        return A0 @ np.linalg.inv(-U_mat)
+    except np.linalg.LinAlgError:
+        return None
+
+
+def _r_by_functional_iteration(
+    A0: np.ndarray,
+    A1: np.ndarray,
+    A2: np.ndarray,
+    tol: float,
+    max_iter: int,
+    where: str,
+) -> np.ndarray:
+    """Classic linear fixed point ``R <- -(A0 + R^2 A2) A1^{-1}``.
+
+    Kept as the fallback when logarithmic reduction hits a singular
+    reduction step; converges monotonically to the minimal solution for
+    irreducible positive-recurrent QBDs.
+    """
     A1_inv = np.linalg.inv(A1)
-    R = np.zeros((K, K))
-    for it in range(max_iter):
+    R = np.zeros_like(A0)
+    delta = np.inf
+    for _ in range(max_iter):
         R_next = -(A0 + R @ R @ A2) @ A1_inv
         delta = np.abs(R_next - R).max()
         R = R_next
         if delta < tol:
-            break
-    else:
-        raise SolverError(
-            f"R-matrix iteration did not converge in {max_iter} steps "
-            f"(last delta {delta:.3g}); is the QBD positive recurrent?"
-        )
-    if np.any(R < -1e-9):
-        raise SolverError("R-matrix iteration produced negative entries")
-    R = np.clip(R, 0.0, None)
-    if max(abs(v) for v in np.linalg.eigvals(R)) >= 1.0 - 1e-10:
-        raise SolverError(
-            "spectral radius of R is >= 1: the QBD is not positive recurrent "
-            "(offered load >= capacity)"
-        )
-    return R
+            return R
+    raise SolverError(
+        f"{where}: R-matrix iteration did not converge in {max_iter} steps "
+        f"(last delta {delta:.3g}); is the QBD positive recurrent?"
+    )
 
 
 @dataclass
@@ -129,6 +273,8 @@ def solve_qbd(
     B1: np.ndarray,
     B0: np.ndarray | None = None,
     tol: float = 1e-13,
+    label: str | None = None,
+    near_instability_eps: float = NEAR_INSTABILITY_EPS,
 ) -> QbdSolution:
     """Solve a level-independent QBD with boundary blocks ``(B1, B0)``.
 
@@ -137,13 +283,18 @@ def solve_qbd(
         pi_0 B1 + pi_1 A2            = 0
         pi_0 B0 + pi_1 (A1 + R A2)   = 0
 
-    normalized by ``pi_0 1 + pi_1 (I - R)^-1 1 = 1``.
+    normalized by ``pi_0 1 + pi_1 (I - R)^-1 1 = 1``.  ``label`` and
+    ``near_instability_eps`` are forwarded to :func:`solve_r_matrix` so
+    instability diagnostics name the offending model component.
     """
     A0 = np.asarray(A0, dtype=float)
     B0 = A0 if B0 is None else np.asarray(B0, dtype=float)
     B1 = np.asarray(B1, dtype=float)
     K = A0.shape[0]
-    R = solve_r_matrix(A0, A1, A2, tol=tol)
+    R = solve_r_matrix(
+        A0, A1, A2, tol=tol, label=label,
+        near_instability_eps=near_instability_eps,
+    )
 
     # Assemble the boundary linear system for the row vector [pi0, pi1].
     top = np.hstack([B1, B0])

@@ -44,7 +44,7 @@ from repro.core.objectives import (
     utilization_metric,
 )
 from repro.core.variables import VariableIndex
-from repro.network.model import ClosedNetwork
+from repro.network.model import Network, require_closed
 from repro.utils.errors import SolverError
 
 __all__ = ["BatchLPSolver", "expand_metric_specs"]
@@ -101,12 +101,13 @@ class BatchLPSolver:
 
     def __init__(
         self,
-        network: ClosedNetwork,
+        network: Network,
         triples: bool | None = None,
         include_redundant: bool = False,
         method: str = "auto",
         assembly_cache: AssemblyCache | None = None,
     ) -> None:
+        require_closed(network, "lp")
         self.network = network
         cache = assembly_cache if assembly_cache is not None else get_assembly_cache()
         t0 = time.perf_counter()

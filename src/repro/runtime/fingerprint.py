@@ -1,7 +1,7 @@
 """Content-addressed fingerprints of models and solver invocations.
 
 A fingerprint is a SHA-256 digest of a *canonical* byte serialization of a
-:class:`~repro.network.model.ClosedNetwork` plus the solver method and its
+:class:`~repro.network.model.Network` plus the solver method and its
 options.  Two invocations with the same fingerprint are guaranteed to
 describe the same computation, so the digest is a safe cache key — stable
 across process restarts, interpreter versions, and machines (float bytes are
@@ -19,7 +19,7 @@ from typing import Any
 
 import numpy as np
 
-from repro.network.model import ClosedNetwork
+from repro.network.model import Network
 
 __all__ = [
     "FingerprintError",
@@ -72,9 +72,16 @@ def _canon(obj: Any) -> bytes:
     )
 
 
-def _network_tree(network: ClosedNetwork) -> dict:
-    """The canonical value tree of a network (everything that defines it)."""
-    return {
+def _network_tree(network: Network) -> dict:
+    """The canonical value tree of a network (everything that defines it).
+
+    Closed networks serialize exactly as they did before the unified
+    ``Network`` redesign — same keys, same order-insensitive dict encoding —
+    so pre-redesign digests (and every ``.repro-cache`` entry keyed by them)
+    remain valid.  Open and mixed networks add their defining extras under
+    new keys, which can never collide with a closed tree.
+    """
+    tree: dict = {
         "stations": [
             {
                 "name": st.name,
@@ -86,11 +93,21 @@ def _network_tree(network: ClosedNetwork) -> dict:
             for st in network.stations
         ],
         "routing": network.routing,
-        "population": network.population,
     }
+    kind = getattr(network, "kind", "closed")
+    if kind in ("closed", "mixed"):
+        tree["population"] = network.population
+    if kind != "closed":
+        arrivals = network.arrivals
+        tree["net_kind"] = kind
+        tree["arrivals"] = {"D0": arrivals.D0, "D1": arrivals.D1}
+        tree["entry"] = network.entry
+        if network.open_routing is not None:
+            tree["open_routing"] = network.open_routing
+    return tree
 
 
-def fingerprint_network(network: ClosedNetwork) -> str:
+def fingerprint_network(network: Network) -> str:
     """Hex digest identifying the model alone (no solver options)."""
     return hashlib.sha256(
         _canon({"schema": SCHEMA_VERSION, "network": _network_tree(network)})
@@ -98,7 +115,7 @@ def fingerprint_network(network: ClosedNetwork) -> str:
 
 
 def fingerprint_solve(
-    network: ClosedNetwork, method: str, opts: dict[str, Any]
+    network: Network, method: str, opts: dict[str, Any]
 ) -> str:
     """Hex digest identifying one ``solve(network, method, **opts)`` call.
 
@@ -118,7 +135,7 @@ def fingerprint_solve(
 
 
 def fingerprint_sweep(
-    networks: "list[ClosedNetwork] | tuple[ClosedNetwork, ...]",
+    networks: "list[Network] | tuple[Network, ...]",
     method: str,
     opts: dict[str, Any] | None = None,
     per_point_opts: "list[dict[str, Any]] | None" = None,

@@ -31,14 +31,15 @@ from repro.baselines.decomposition import decomposition
 from repro.baselines.mva import mva
 from repro.core.bounds import Interval
 from repro.network.exact import solve_exact
-from repro.network.model import ClosedNetwork
+from repro.network.model import Network, require_closed
 from repro.network.statespace import StateSpaceCache, expected_state_count
 from repro.qbd.mapm1 import MapM1Queue
+from repro.qbd.opennet import solve_open_network
 from repro.runtime.batch import BatchLPSolver
 from repro.runtime.cache import ResultCache
 from repro.runtime.fingerprint import FingerprintError, fingerprint_solve
 from repro.sim.engine import simulate
-from repro.utils.errors import NotSupportedError
+from repro.utils.errors import NotSupportedError, UnsupportedNetworkError
 
 __all__ = ["SolveResult", "SolverRegistry"]
 
@@ -66,11 +67,13 @@ class SolveResult:
     (e.g. an LP solve restricted to ``metrics=("system_throughput",)``).
     Intervals from bounding methods are certified; point methods return
     zero-width intervals (simulation: the point estimate of the run).
+    ``population`` is ``None`` for open networks, which have no fixed job
+    count.
     """
 
     method: str
     station_names: tuple[str, ...]
-    population: int
+    population: "int | None"
     utilization: tuple[Interval | None, ...]
     throughput: tuple[Interval | None, ...]
     queue_length: tuple[Interval | None, ...]
@@ -148,10 +151,11 @@ class SolveResult:
     @classmethod
     def from_dict(cls, payload: dict, from_cache: bool = False) -> "SolveResult":
         """Rebuild a result from its :meth:`to_dict` payload (cache replay)."""
+        population = payload["population"]
         return cls(
             method=payload["method"],
             station_names=tuple(payload["station_names"]),
-            population=int(payload["population"]),
+            population=None if population is None else int(population),
             utilization=tuple(_iv_from_json(v) for v in payload["utilization"]),
             throughput=tuple(_iv_from_json(v) for v in payload["throughput"]),
             queue_length=tuple(_iv_from_json(v) for v in payload["queue_length"]),
@@ -165,7 +169,7 @@ class SolveResult:
 
 
 def _make_result(
-    network: ClosedNetwork,
+    network: Network,
     method: str,
     utilization,
     throughput,
@@ -177,7 +181,7 @@ def _make_result(
     return SolveResult(
         method=method,
         station_names=tuple(st.name for st in network.stations),
-        population=network.population,
+        population=None if network.kind == "open" else network.population,
         utilization=tuple(utilization),
         throughput=tuple(throughput),
         queue_length=tuple(queue_length),
@@ -191,13 +195,14 @@ def _make_result(
 # adapters
 # ---------------------------------------------------------------------- #
 def _solve_lp(
-    network: ClosedNetwork,
+    network: Network,
     metrics="standard",
     reference: int = 0,
     triples: bool | None = None,
     include_redundant: bool = False,
     lp_method: str = "auto",
 ) -> SolveResult:
+    # kind guard lives in BatchLPSolver.__init__ (the only LP entry point)
     solver = BatchLPSolver(
         network,
         triples=triples,
@@ -236,11 +241,12 @@ _statespace_cache = StateSpaceCache()
 
 
 def _solve_exact(
-    network: ClosedNetwork,
+    network: Network,
     reference: int = 0,
     ctmc_method: str = "auto",
     max_states: int = 2_000_000,
 ) -> SolveResult:
+    require_closed(network, "exact")
     # Never enumerate (or cache) a space the guard would refuse anyway;
     # solve_exact re-raises its MemoryError on the space=None path.
     space = (
@@ -266,7 +272,7 @@ def _solve_exact(
 
 
 def _solve_sim(
-    network: ClosedNetwork,
+    network: Network,
     rng=None,
     horizon_events: int = 200_000,
     warmup_events: int = 20_000,
@@ -284,6 +290,17 @@ def _solve_sim(
     )
     M = network.n_stations
     x = sim.system_throughput(reference)
+    extra = {
+        "duration": float(sim.duration),
+        "horizon_events": horizon_events,
+        "warmup_events": warmup_events,
+        "estimate": True,
+    }
+    if network.kind != "closed":
+        extra["sink_departure_rate"] = sim.sink_departures / sim.duration
+        extra["external_arrival_rate"] = sim.external_arrivals / sim.duration
+        extra["open_response_time"] = sim.open_response_time()
+        extra["open_mean_jobs"] = float(sim.mean_queue_length_open.sum())
     return _make_result(
         network,
         "sim",
@@ -291,27 +308,59 @@ def _solve_sim(
         [_pt(sim.throughput[k]) for k in range(M)],
         [_pt(sim.mean_queue_length[k]) for k in range(M)],
         _pt(x),
-        _pt(network.population / x),
+        _pt(sim.response_time(reference)),
+        extra=extra,
+    )
+
+
+def _solve_qbd_open(network: Network, reference: int = 0) -> SolveResult:
+    """Open-network branch of the ``qbd`` adapter (station-wise QBDs)."""
+    sol = solve_open_network(network)
+    util, thr, qlen = [], [], []
+    for k, s in enumerate(sol.stations):
+        st = network.stations[k]
+        util.append(None if st.kind == "delay" else _pt(s.utilization))
+        thr.append(_pt(s.arrival_rate))
+        qlen.append(_pt(s.mean_queue_length))
+    return _make_result(
+        network,
+        "qbd",
+        util,
+        thr,
+        qlen,
+        _pt(sol.system_throughput),
+        _pt(sol.mean_response_time),
         extra={
-            "duration": float(sim.duration),
-            "horizon_events": horizon_events,
-            "warmup_events": warmup_events,
-            "estimate": True,
+            "approximation": "station-wise QBD decomposition",
+            "arrival_models": [s.arrival_model for s in sol.stations],
+            "rho_max": float(np.max(network.open_utilizations)),
         },
     )
 
 
-def _solve_qbd(network: ClosedNetwork, reference: int = 0) -> SolveResult:
-    """Heavy-traffic open-queue approximation via the QBD layer.
+def _solve_qbd(network: Network, reference: int = 0) -> SolveResult:
+    """Matrix-analytic solve, dispatched on the network kind.
 
-    Supported shape: a two-station network where a MAP station (the
-    "source") feeds an exponential single-server queue.  In the saturated-
-    source regime the server sees the source's service MAP as its arrival
-    process, so the closed pair is approximated by the open MAP/M/1 queue
-    (exactly the limiting construction of the paper's single-queue
-    predecessors).  Metrics are the open-queue values, clipped to the
-    closed network's population where applicable.
+    **Open** networks solve by station-wise QBD decomposition
+    (:func:`repro.qbd.opennet.solve_open_network`): exact traffic-equation
+    throughputs and utilizations; queue lengths from per-station MAP/M/1
+    or MAP/MAP/1 models whose arrival processes are the external MAP
+    (thinned by the visit ratio where the stream splits).
+
+    **Closed** networks keep the pre-redesign heavy-traffic approximation:
+    a two-station network where a MAP station (the "source") feeds an
+    exponential single-server queue is approximated by the open MAP/M/1
+    queue of the saturated-source regime (exactly the limiting
+    construction of the paper's single-queue predecessors), metrics
+    clipped to the population where applicable.
+
+    **Mixed** networks are not supported (closed jobs interleave at the
+    same servers, which the decomposition cannot see — use ``sim``).
     """
+    if network.kind == "open":
+        return _solve_qbd_open(network, reference)
+    if network.kind == "mixed":
+        raise UnsupportedNetworkError("qbd", "mixed", supported="closed/open")
     if network.n_stations != 2:
         raise NotSupportedError(
             "the qbd method approximates 2-station (source -> server) "
@@ -362,7 +411,7 @@ def _solve_qbd(network: ClosedNetwork, reference: int = 0) -> SolveResult:
 
 
 def _solve_mva(
-    network: ClosedNetwork, reference: int = 0, substitute_maps: bool = True
+    network: Network, reference: int = 0, substitute_maps: bool = True
 ) -> SolveResult:
     """Exact MVA; MAP stations get the explicit "no-ACF" substitution.
 
@@ -376,6 +425,7 @@ def _solve_mva(
     silent; pass ``substitute_maps=False`` to get the strict behaviour
     (:class:`~repro.utils.errors.ValidationError` on MAP stations).
     """
+    require_closed(network, "mva")
     target = network
     substituted: list[int] = []
     if substitute_maps:
@@ -411,7 +461,8 @@ def _solve_mva(
     )
 
 
-def _solve_aba(network: ClosedNetwork, reference: int = 0) -> SolveResult:
+def _solve_aba(network: Network, reference: int = 0) -> SolveResult:
+    require_closed(network, "aba")
     b = aba_bounds(network)
     M = network.n_stations
     N = network.population
@@ -439,7 +490,8 @@ def _solve_aba(network: ClosedNetwork, reference: int = 0) -> SolveResult:
     )
 
 
-def _solve_bjb(network: ClosedNetwork, reference: int = 0) -> SolveResult:
+def _solve_bjb(network: Network, reference: int = 0) -> SolveResult:
+    require_closed(network, "bjb")
     b = bjb_bounds(network)
     M = network.n_stations
     N = network.population
@@ -467,7 +519,8 @@ def _solve_bjb(network: ClosedNetwork, reference: int = 0) -> SolveResult:
     )
 
 
-def _solve_decomposition(network: ClosedNetwork, reference: int = 0) -> SolveResult:
+def _solve_decomposition(network: Network, reference: int = 0) -> SolveResult:
+    require_closed(network, "decomposition")
     res = decomposition(network)
     M = network.n_stations
     x = float(res.system_throughput)
@@ -568,7 +621,7 @@ class SolverRegistry:
 
     def solve(
         self,
-        network: ClosedNetwork,
+        network: Network,
         method: str = "lp",
         cache: bool = True,
         **opts,

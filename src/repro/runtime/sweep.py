@@ -30,7 +30,7 @@ from typing import Any, Mapping, Sequence
 
 import numpy as np
 
-from repro.network.model import ClosedNetwork
+from repro.network.model import Network
 from repro.runtime.cache import ResultCache, default_cache_dir
 from repro.runtime.fingerprint import fingerprint_sweep
 from repro.runtime.registry import SolveResult, SolverRegistry
@@ -97,12 +97,27 @@ class SweepSpec:
                 "pass cache=/workers= to run_spec() and seeds via base_seed"
             )
 
-    def networks(self) -> list[ClosedNetwork]:
-        """Compile the per-point models through the scenario registry."""
+    def networks(self) -> list[Network]:
+        """Compile the per-point models through the scenario registry.
+
+        Raises
+        ------
+        UnsupportedNetworkError
+            When the scenario compiles to an *open* network: open models
+            ignore the population argument, so a population sweep would
+            silently produce identical points.
+        """
         from repro.scenarios import get_scenario  # lazy: avoids an import cycle
 
         sc = get_scenario(self.scenario)
-        return [sc.network(population=n, **self.params) for n in self.populations]
+        nets = [sc.network(population=n, **self.params) for n in self.populations]
+        if nets and nets[0].kind == "open":
+            from repro.utils.errors import UnsupportedNetworkError
+
+            raise UnsupportedNetworkError(
+                "population sweep", "open", supported="closed/mixed"
+            )
+        return nets
 
     def _seeds_points(self) -> bool:
         """Whether the runner would derive per-point rng seeds for this spec.
@@ -232,7 +247,7 @@ class SweepRunner:
     # ------------------------------------------------------------------ #
     def run(
         self,
-        networks: Sequence[ClosedNetwork],
+        networks: Sequence[Network],
         method: str = "lp",
         base_seed: int | None = None,
         workers: int | None = None,
@@ -279,7 +294,7 @@ class SweepRunner:
 
     def population_sweep(
         self,
-        base_network: ClosedNetwork,
+        base_network: Network,
         populations: Sequence[int],
         method: str = "lp",
         **kwargs,

@@ -4,17 +4,21 @@ The paper's pitch is *versatility*: MAP queueing networks as one modeling
 language for many system scenarios.  This package makes that operational:
 
 * :class:`~repro.scenarios.builder.NetworkBuilder` — fluent construction
-  of closed MAP networks by station name;
-* :mod:`~repro.scenarios.spec` — declarative dict/YAML specs that compile
-  to :class:`~repro.network.model.ClosedNetwork` and render back losslessly;
+  of MAP networks by station name, including open/mixed chains via
+  ``.source(...)``/``.sink(...)`` pseudo-nodes;
+* :mod:`~repro.scenarios.spec` — declarative dict/YAML specs
+  (``kind: closed|open|mixed``) that compile to
+  :class:`~repro.network.model.Network` and render back losslessly;
 * :class:`~repro.scenarios.registry.Scenario` /
   :class:`~repro.scenarios.registry.ScenarioRegistry` — named,
   parameterized model families with documented defaults;
 * :mod:`~repro.scenarios.catalog` — the built-in catalog: TPC-W tiers,
   bursty vs Poisson tandems, the Figure 5 case study, hyperexponential and
   load-skewed central servers, SCV/gamma2 parameter families, stress
-  populations, and the Table 1 random-model protocol;
-* a CLI: ``python -m repro.scenarios list|show|render|solve|sweep``.
+  populations, the Table 1 random-model protocol, and the open/mixed
+  entries (bursty open tandem, feed-forward web tier, mixed TPC-W);
+* a CLI: ``python -m repro.scenarios
+  list|show|render|validate|solve|sweep``.
 
 Every scenario solves through the :mod:`repro.runtime` registry, so
 results are content-fingerprinted, cached, and sweepable for free.
@@ -24,7 +28,7 @@ Quickstart::
     from repro import scenarios
 
     sc = scenarios.get_scenario("fig5-case-study")
-    net = sc.network(population=120)               # ClosedNetwork
+    net = sc.network(population=120)               # Network
     from repro import runtime
     res = runtime.solve(net, method="lp")          # cached LP bounds
 

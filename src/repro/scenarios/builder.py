@@ -1,11 +1,11 @@
-"""Fluent construction of closed MAP queueing networks.
+"""Fluent construction of MAP queueing networks of any kind.
 
 :class:`NetworkBuilder` is the programmatic twin of the declarative spec
 format (:mod:`repro.scenarios.spec`): stations are declared by name with
 either a ready :class:`~repro.maps.map.MAP`, a distribution spec dict, or
 plain ``mean=``/``rate=`` shorthand for exponential service; routing is
 declared edge-by-edge (or as a cycle) by station *name*, and ``build()``
-assembles and validates the :class:`~repro.network.model.ClosedNetwork`.
+assembles and validates the :class:`~repro.network.model.Network`.
 
 .. code-block:: python
 
@@ -20,6 +20,29 @@ assembles and validates the :class:`~repro.network.model.ClosedNetwork`.
         .link("db", "front")
         .build()
     )
+
+Open networks declare an external :meth:`~NetworkBuilder.source` and a
+:meth:`~NetworkBuilder.sink` as pseudo-nodes in the same link language —
+they never become stations; ``build()`` folds them into the
+:class:`~repro.network.population.OpenArrivals` descriptor and the
+substochastic routing matrix:
+
+.. code-block:: python
+
+    open_net = (
+        NetworkBuilder()
+        .source("in", service={"dist": "map2", "mean": 1.0,
+                               "scv": 16.0, "gamma2": 0.5})
+        .queue("q1", mean=0.7).queue("q2", mean=0.6)
+        .sink("out")
+        .link("in", "q1").link("q1", "q2").link("q2", "out")
+        .build()
+    )
+
+A builder with *both* a population and a source builds a mixed network:
+``link()`` edges between stations route the closed chain, while
+``open_link()`` edges (plus any edge touching the source or sink) route
+the open chain.
 """
 
 from __future__ import annotations
@@ -30,7 +53,8 @@ import numpy as np
 
 from repro.maps.builders import exponential
 from repro.maps.map import MAP
-from repro.network.model import ClosedNetwork
+from repro.network.model import Network
+from repro.network.population import Closed, Mixed, OpenArrivals
 from repro.network.stations import Station
 from repro.scenarios.spec import service_from_spec
 from repro.utils.errors import ValidationError
@@ -60,6 +84,10 @@ class NetworkBuilder:
         self._stations: list[Station] = []
         self._names: dict[str, int] = {}
         self._links: dict[tuple[str, str], float] = {}
+        self._open_links: dict[tuple[str, str], float] = {}
+        self._source_name: str | None = None
+        self._source_map: MAP | None = None
+        self._sink_name: str | None = None
 
     # ------------------------------------------------------------------ #
     # stations
@@ -90,6 +118,11 @@ class NetworkBuilder:
         """Append a station, rejecting duplicate names."""
         if station.name in self._names:
             raise ValidationError(f"duplicate station name {station.name!r}")
+        if station.name in (self._source_name, self._sink_name):
+            raise ValidationError(
+                f"station name {station.name!r} collides with the declared "
+                "source/sink pseudo-node"
+            )
         self._names[station.name] = len(self._stations)
         self._stations.append(station)
         return self
@@ -163,18 +196,91 @@ class NetworkBuilder:
         )
 
     # ------------------------------------------------------------------ #
+    # open-network pseudo-nodes
+    # ------------------------------------------------------------------ #
+    def source(
+        self,
+        name: str = "source",
+        service: "MAP | Mapping[str, Any] | None" = None,
+        mean: float | None = None,
+        rate: float | None = None,
+    ) -> "NetworkBuilder":
+        """Declare the external arrival source as a routable pseudo-node.
+
+        The source never becomes a station: :meth:`build` folds it into an
+        :class:`~repro.network.population.OpenArrivals` descriptor whose
+        entry distribution is read off the ``link(source, ...)`` edges.
+        Declaring a source makes the built network open (or mixed, when a
+        population is also set).
+
+        Parameters
+        ----------
+        name:
+            Pseudo-node name used in routing declarations.
+        service:
+            The arrival MAP (or a distribution spec dict); ``mean``/``rate``
+            are the exponential-interarrival shorthand, so
+            ``source(rate=0.5)`` declares Poisson arrivals at rate 0.5.
+
+        Returns
+        -------
+        NetworkBuilder
+            ``self``, for chaining.
+        """
+        if self._source_name is not None:
+            raise ValidationError(
+                f"source already declared as {self._source_name!r}"
+            )
+        if name in self._names or name == self._sink_name:
+            raise ValidationError(f"source name {name!r} is already in use")
+        self._source_map = self._service(name, service, mean, rate)
+        self._source_name = name
+        return self
+
+    def sink(self, name: str = "sink") -> "NetworkBuilder":
+        """Declare the exit sink as a routable pseudo-node.
+
+        Links *to* the sink carry the exit probabilities; :meth:`build`
+        folds them into the substochastic open routing matrix (each open
+        row must total 1 including its sink mass).
+
+        Parameters
+        ----------
+        name:
+            Pseudo-node name used in routing declarations.
+
+        Returns
+        -------
+        NetworkBuilder
+            ``self``, for chaining.
+        """
+        if self._sink_name is not None:
+            raise ValidationError(f"sink already declared as {self._sink_name!r}")
+        if name in self._names or name == self._source_name:
+            raise ValidationError(f"sink name {name!r} is already in use")
+        self._sink_name = name
+        return self
+
+    # ------------------------------------------------------------------ #
     # routing
     # ------------------------------------------------------------------ #
+    def _is_pseudo(self, name: str) -> bool:
+        """True when ``name`` names the declared source or sink."""
+        return name in (self._source_name, self._sink_name)
+
     def link(self, src: str, dst: str, probability: float = 1.0) -> "NetworkBuilder":
         """Route jobs completing at ``src`` to ``dst`` with the given probability.
 
         Probabilities accumulate if the same edge is declared twice; each
         station's outgoing probabilities must total 1 at :meth:`build` time.
+        Edges touching the declared source or sink pseudo-nodes belong to
+        the open chain automatically.
 
         Parameters
         ----------
         src, dst:
-            Station names (must be declared before :meth:`build`).
+            Station (or source/sink pseudo-node) names; stations must be
+            declared before :meth:`build`.
         probability:
             Routing probability in ``(0, 1]``.
 
@@ -188,7 +294,55 @@ class NetworkBuilder:
                 f"link {src!r}->{dst!r}: probability must be in (0, 1], "
                 f"got {probability}"
             )
+        if src == self._sink_name:
+            raise ValidationError(f"the sink {src!r} cannot be a link source")
+        if dst == self._source_name:
+            raise ValidationError(
+                f"the source {dst!r} cannot be a link destination"
+            )
+        # Edges are partitioned into chains at build() time, once the
+        # pseudo-node names are final — so declaring a link before its
+        # source()/sink() does not silently change which chain it routes.
         self._links[(src, dst)] = self._links.get((src, dst), 0.0) + probability
+        return self
+
+    def open_link(
+        self, src: str, dst: str, probability: float = 1.0
+    ) -> "NetworkBuilder":
+        """Route the *open chain* from ``src`` to ``dst`` (mixed networks).
+
+        In a mixed network :meth:`link` declares the closed chain's
+        station-to-station routing, so the open chain's internal hops need
+        their own verb.  (Edges touching the source or sink pseudo-nodes
+        are open-chain automatically, whichever method declares them; in a
+        pure open network the two verbs are interchangeable.)
+
+        Parameters
+        ----------
+        src, dst:
+            Station (or source/sink pseudo-node) names.
+        probability:
+            Routing probability in ``(0, 1]``.
+
+        Returns
+        -------
+        NetworkBuilder
+            ``self``, for chaining.
+        """
+        if not 0.0 < probability <= 1.0:
+            raise ValidationError(
+                f"open_link {src!r}->{dst!r}: probability must be in (0, 1], "
+                f"got {probability}"
+            )
+        if src == self._sink_name:
+            raise ValidationError(f"the sink {src!r} cannot be a link source")
+        if dst == self._source_name:
+            raise ValidationError(
+                f"the source {dst!r} cannot be a link destination"
+            )
+        self._open_links[(src, dst)] = (
+            self._open_links.get((src, dst), 0.0) + probability
+        )
         return self
 
     def cycle(self, *names: str) -> "NetworkBuilder":
@@ -226,8 +380,69 @@ class NetworkBuilder:
         """Names declared so far, in index order."""
         return tuple(s.name for s in self._stations)
 
-    def build(self, population: int | None = None) -> ClosedNetwork:
+    def _matrix_from(self, links: "dict[tuple[str, str], float]"):
+        """Assemble (P, entry, sink_mass) from an edge dict.
+
+        Source-outgoing edges become the entry vector; sink-incoming edges
+        the per-station sink masses; everything else fills ``P``.
+        """
+        M = len(self._stations)
+        P = np.zeros((M, M))
+        entry = np.zeros(M)
+        sink_mass = np.zeros(M)
+        for (src, dst), prob in links.items():
+            if src == self._source_name:
+                if dst not in self._names:
+                    raise ValidationError(
+                        f"link {src!r}->{dst!r} references undeclared "
+                        f"station {dst!r}; declared: {list(self._names)}"
+                    )
+                entry[self._names[dst]] += prob
+                continue
+            if src not in self._names:
+                raise ValidationError(
+                    f"link {src!r}->{dst!r} references undeclared station "
+                    f"{src!r}; declared: {list(self._names)}"
+                )
+            if dst == self._sink_name:
+                sink_mass[self._names[src]] += prob
+                continue
+            if dst not in self._names:
+                raise ValidationError(
+                    f"link {src!r}->{dst!r} references undeclared station "
+                    f"{dst!r}; declared: {list(self._names)}"
+                )
+            P[self._names[src], self._names[dst]] = prob
+        return P, entry, sink_mass
+
+    def _check_open_rows(self, P, entry, sink_mass) -> None:
+        """Every station the open chain can visit must route a full row.
+
+        Substochastic rows have implicit-exit semantics in the core model;
+        the builder (like the spec format) demands the sink mass be
+        declared explicitly, so a forgotten edge fails loudly instead of
+        silently leaking jobs to the sink.  Reachability comes from the
+        shared :func:`repro.network.routing.open_reachable_stations`.
+        """
+        from repro.network.routing import open_reachable_stations
+
+        seen = open_reachable_stations(np.asarray(P), entry)
+        names = self.station_names
+        for k in sorted(seen):
+            total = P[k].sum() + sink_mass[k]
+            if abs(total - 1.0) > 1e-9:
+                raise ValidationError(
+                    f"open routing out of station {names[k]!r} totals "
+                    f"{total:.6g}, must be 1 including the sink edge "
+                    f"(add link({names[k]!r}, {self._sink_name!r}, p))"
+                )
+
+    def build(self, population: int | None = None) -> Network:
         """Assemble and validate the declared network.
+
+        The built kind follows the declarations: stations + population →
+        closed; a :meth:`source` (and :meth:`sink`) without population →
+        open; both → mixed.
 
         Parameters
         ----------
@@ -236,31 +451,78 @@ class NetworkBuilder:
 
         Returns
         -------
-        ClosedNetwork
+        Network
             The validated network.
 
         Raises
         ------
         ValidationError
-            On undeclared stations in links, missing population, or any
-            routing/model validation failure (e.g. rows not summing to 1).
+            On undeclared stations in links, missing population/source, or
+            any routing/model validation failure (e.g. rows not summing to
+            1, an unstable open chain).
         """
         N = population if population is not None else self._population
-        if N is None:
-            raise ValidationError(
-                "population not set: pass NetworkBuilder(population=...) or "
-                "build(population=...)"
-            )
         if not self._stations:
             raise ValidationError("no stations declared")
-        M = len(self._stations)
-        P = np.zeros((M, M))
+
+        # Partition link() edges now that the pseudo-node names are final:
+        # anything touching the source or sink routes the open chain,
+        # regardless of whether the pseudo-node was declared before or
+        # after the edge.
+        closed_edges: dict[tuple[str, str], float] = {}
+        open_edges = dict(self._open_links)
         for (src, dst), prob in self._links.items():
-            for endpoint in (src, dst):
-                if endpoint not in self._names:
-                    raise ValidationError(
-                        f"link {src!r}->{dst!r} references undeclared station "
-                        f"{endpoint!r}; declared: {list(self._names)}"
-                    )
-            P[self._names[src], self._names[dst]] = prob
-        return ClosedNetwork(self._stations, P, N)
+            if src == self._sink_name:
+                raise ValidationError(
+                    f"the sink {src!r} cannot be a link source"
+                )
+            if dst == self._source_name:
+                raise ValidationError(
+                    f"the source {dst!r} cannot be a link destination"
+                )
+            if self._is_pseudo(src) or self._is_pseudo(dst):
+                open_edges[(src, dst)] = open_edges.get((src, dst), 0.0) + prob
+            else:
+                closed_edges[(src, dst)] = prob
+
+        if self._source_name is None:
+            if self._sink_name is not None or open_edges:
+                raise ValidationError(
+                    "sink/open links declared without a source(); declare "
+                    "the external arrival source to build an open network"
+                )
+            if N is None:
+                raise ValidationError(
+                    "population not set: pass NetworkBuilder(population=...) "
+                    "or build(population=...), or declare a source() for an "
+                    "open network"
+                )
+            P, _, _ = self._matrix_from(closed_edges)
+            return Network(self._stations, P, N)
+
+        if self._sink_name is None:
+            raise ValidationError(
+                "source() declared without a sink(); open chains must drain"
+            )
+
+        if N is None:
+            # Pure open network: every declared edge routes the open chain.
+            for key, prob in closed_edges.items():
+                open_edges[key] = open_edges.get(key, 0.0) + prob
+            P, entry, sink_mass = self._matrix_from(open_edges)
+            self._check_open_rows(P, entry, sink_mass)
+            return Network(
+                self._stations, P, OpenArrivals(self._source_map, entry=entry)
+            )
+
+        # Mixed: station-to-station link() edges route the closed chain;
+        # open_link() + source/sink edges route the open chain.
+        P, _, _ = self._matrix_from(closed_edges)
+        P_open, entry, sink_mass = self._matrix_from(open_edges)
+        self._check_open_rows(P_open, entry, sink_mass)
+        return Network(
+            self._stations,
+            P,
+            Mixed(Closed(int(N)), OpenArrivals(self._source_map, entry=entry)),
+            open_routing=P_open,
+        )

@@ -20,8 +20,13 @@ from repro.scenarios.builder import NetworkBuilder
 from repro.scenarios.registry import Scenario, ScenarioRegistry
 from repro.workloads.central import central_server_model
 from repro.workloads.randomnet import random_3queue_model
-from repro.workloads.tandem import poisson_tandem_model, tandem_model
-from repro.workloads.tpcw import TpcwParameters, tpcw_model
+from repro.workloads.tandem import (
+    open_tandem_model,
+    poisson_tandem_model,
+    tandem_model,
+)
+from repro.workloads.tpcw import TpcwParameters, mixed_tpcw_model, tpcw_model
+from repro.workloads.webtier import open_web_tier_model
 
 __all__ = ["FIG5_ROUTING", "populate", "fig5_case_study"]
 
@@ -33,7 +38,7 @@ FIG5_ROUTING = np.array(
 
 
 # --------------------------------------------------------------------- #
-# builders (population, **params) -> ClosedNetwork
+# builders (population, **params) -> Network
 # --------------------------------------------------------------------- #
 def _tpcw(
     population: int,
@@ -324,6 +329,91 @@ def populate(registry: ScenarioRegistry) -> ScenarioRegistry:
         populations=(200, 400, 600, 800, 1000),
         tags=("case-study", "stress", "scalability"),
         paper_ref="§4 (scalability)",
+    ))
+
+    reg(Scenario(
+        name="open-bursty-tandem",
+        summary="Open tandem fed by a bursty MAP(2) arrival stream",
+        description=(
+            "The open-network counterpart of the Figure 4 tandem: the "
+            "burstiness moves from queue 1's service into the external "
+            "arrival stream (SCV 16, geometric ACF decay 0.5), the "
+            "setting of the MAP-driven queueing literature the paper "
+            "generalizes.  Both queues see the full stream, so the "
+            "station-wise QBD decomposition's first queue is an exact "
+            "MAP/M/1 — the scenario doubles as an oracle for the open "
+            "solver plumbing ('qbd' vs 'sim')."
+        ),
+        builder=open_tandem_model,
+        defaults={
+            "arrival_mean": 1.0,
+            "scv": 16.0,
+            "gamma2": 0.5,
+            "service_mean_1": 0.7,
+            "service_mean_2": 0.6,
+        },
+        default_population=1,
+        populations=(),
+        tags=("open", "tandem", "bursty"),
+        paper_ref="§1 (MAP/M/1 predecessors); arXiv:1805.09641",
+    ))
+
+    reg(Scenario(
+        name="open-web-tier",
+        summary="Open feed-forward web tier: MAP stream over front/app/db",
+        description=(
+            "A bursty request stream hits a front tier; 60% of requests "
+            "fan into an application tier and half of those touch the "
+            "database before leaving.  Feed-forward routing means every "
+            "tier's arrival process is a Bernoulli split of the external "
+            "MAP, so the decomposition's thinned-MAP/M/1 model applies at "
+            "every station — the capacity-planning shape of the "
+            "partially-observed open-network literature."
+        ),
+        builder=open_web_tier_model,
+        defaults={
+            "arrival_mean": 1.0,
+            "scv": 4.0,
+            "gamma2": 0.4,
+            "front_mean": 0.55,
+            "app_mean": 0.6,
+            "db_mean": 0.8,
+            "p_app": 0.6,
+            "p_db": 0.5,
+        },
+        default_population=1,
+        populations=(),
+        tags=("open", "multi-tier", "feed-forward"),
+        paper_ref="§5 (open-model outlook); arXiv:1807.08673",
+    ))
+
+    reg(Scenario(
+        name="mixed-tpcw",
+        summary="TPC-W browsers (closed) plus an open anonymous-browse class",
+        description=(
+            "The TPC-W case study extended with TPC-W's browsing mix: the "
+            "closed chain of registered emulated browsers cycles "
+            "clients -> front -> db as in the 'tpcw' scenario, while an "
+            "open Poisson stream of anonymous browse requests enters at "
+            "the front tier, touches the database 30% of the time, and "
+            "leaves.  Closed and open jobs share the same FCFS servers, "
+            "so only the simulator solves the full model; construction "
+            "still certifies the open chain's offered loads rho_k < 1."
+        ),
+        builder=mixed_tpcw_model,
+        defaults={
+            "think_time": 7.0,
+            "front_mean": 0.018,
+            "db_mean": 0.025,
+            "p_db": 0.5,
+            "burstiness": "extreme",
+            "browse_rate": 5.0,
+            "browse_p_db": 0.3,
+        },
+        default_population=128,
+        populations=(128, 256, 384),
+        tags=("mixed", "multi-tier", "case-study"),
+        paper_ref="Figs. 1-3 (closed chain) + TPC-W browsing mix",
     ))
 
     reg(Scenario(

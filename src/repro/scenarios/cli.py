@@ -3,12 +3,15 @@
 Subcommands
 -----------
 ``list``
-    Table of registered scenarios (name, stations, tags, summary).
+    Table of registered scenarios (name, kind, stations, tags, summary).
 ``show NAME``
     Full description, defaults, and suggested populations.
 ``render NAME``
     Declarative YAML spec of the compiled model (pipe to a file, edit,
     and solve it back with ``solve --spec``).
+``validate SPEC``
+    Lint a YAML spec (path or inline) and report per-station offered
+    utilizations / stability without solving.
 ``solve NAME``
     Solve one population through the cached solver registry.
 ``sweep NAME``
@@ -31,6 +34,7 @@ from repro.scenarios import (
     load_spec,
     network_from_spec,
 )
+from repro.utils.errors import UnsupportedNetworkError
 from repro.utils.tables import format_table
 
 __all__ = ["main"]
@@ -73,6 +77,15 @@ def _network_for(args: argparse.Namespace):
     return sc.network(population=args.population, **params), sc.name
 
 
+def _describe_population(net) -> str:
+    """Human-readable population/arrival summary for titles."""
+    if net.kind == "closed":
+        return f"N={net.population}"
+    if net.kind == "open":
+        return f"open, lambda={net.arrivals.rate:.4g}"
+    return f"N={net.population}, lambda={net.arrivals.rate:.4g}"
+
+
 def _result_rows(res) -> list[list[Any]]:
     """Flatten a SolveResult into per-station metric rows."""
     rows = []
@@ -96,11 +109,12 @@ def _cmd_list(args: argparse.Namespace) -> int:
     for sc in scenarios:
         net = sc.network()
         rows.append(
-            [sc.name, net.n_stations, sc.default_population,
+            [sc.name, net.kind, net.n_stations,
+             "-" if net.kind == "open" else sc.default_population,
              ",".join(sc.tags), sc.summary]
         )
     print(format_table(
-        ["name", "M", "N", "tags", "summary"], rows,
+        ["name", "kind", "M", "N", "tags", "summary"], rows,
         title=f"{len(rows)} registered scenarios",
     ))
     return 0
@@ -116,9 +130,16 @@ def _cmd_show(args: argparse.Namespace) -> int:
     print(f"tags: {', '.join(sc.tags) or '(none)'}")
     print(f"\n{sc.description}\n")
     print(f"model: {net!r}")
+    print(f"kind: {net.kind}")
     print(f"demands: {[round(float(d), 6) for d in net.service_demands]}")
-    print(f"default population: {sc.default_population}")
-    print(f"suggested sweep: {list(sc.populations)}")
+    if net.kind != "closed":
+        print(
+            "open-chain offered utilizations: "
+            f"{[round(float(r), 6) for r in net.open_utilizations]}"
+        )
+    if net.kind != "open":
+        print(f"default population: {sc.default_population}")
+        print(f"suggested sweep: {list(sc.populations)}")
     if sc.defaults:
         rows = [[k, repr(v)] for k, v in sc.defaults.items()]
         print(format_table(["parameter", "default"], rows))
@@ -136,14 +157,94 @@ def _cmd_render(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_validate(args: argparse.Namespace) -> int:
+    """``validate``: lint a spec and report stability without solving.
+
+    Exit status 0 means the spec compiles to a valid (and, for open
+    chains, stable) network; 1 means it does not, with the validation
+    error printed on stderr.
+    """
+    from repro.utils.errors import ReproError
+
+    try:
+        spec = load_spec(args.spec)
+        net = network_from_spec(spec)
+    except ReproError as exc:
+        print(f"INVALID: {exc}", file=sys.stderr)
+        return 1
+    except Exception as exc:  # noqa: BLE001 - lint contract: report, exit 1
+        # YAML syntax errors, unreadable files, and anything else that
+        # stops the spec from compiling is a lint failure, not a crash.
+        print(f"INVALID: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
+    name = spec.get("name", args.spec if "\n" not in args.spec else "(inline)")
+    kind = net.kind
+    rows = []
+    if kind == "closed":
+        demands = net.service_demands
+        # The queueing bottleneck: think-time (delay) demand never
+        # saturates a server, so it cannot be the bottleneck.
+        queue_demands = [
+            float(demands[k]) for k, st in enumerate(net.stations)
+            if st.kind != "delay"
+        ]
+        d_max = max(queue_demands) if queue_demands else float("nan")
+        for k, st in enumerate(net.stations):
+            d = float(demands[k])
+            rows.append([
+                st.name, st.kind, st.phases, round(st.mean_service_time, 6),
+                round(d, 6),
+                "bottleneck" if d == d_max and st.kind != "delay" else "",
+            ])
+        print(format_table(
+            ["station", "kind", "K", "E[S]", "demand", ""],
+            rows,
+            title=f"VALID closed spec: {name} (N={net.population})",
+        ))
+        print(
+            "closed networks are unconditionally stable; utilizations "
+            "approach demand/max-demand as N grows"
+        )
+        return 0
+    rho = net.open_utilizations
+    lam = net.arrival_rates
+    for k, st in enumerate(net.stations):
+        r = float(rho[k])
+        verdict = (
+            "-" if st.kind == "delay"
+            else "NEAR SATURATION" if r > 0.95
+            else "stable"
+        )
+        rows.append([
+            st.name, st.kind, st.phases, round(st.mean_service_time, 6),
+            round(float(lam[k]), 6), round(r, 6), verdict,
+        ])
+    title = f"VALID {kind} spec: {name} (lambda={net.arrivals.rate:.6g}"
+    title += f", N={net.population})" if kind == "mixed" else ")"
+    print(format_table(
+        ["station", "kind", "K", "E[S]", "lambda_k", "rho_k", "stability"],
+        rows,
+        title=title,
+    ))
+    if kind == "mixed":
+        print(
+            "note: rho_k is the open chain's offered load only — a "
+            "necessary stability condition; closed jobs share the servers"
+        )
+    return 0
+
+
 def _cmd_solve(args: argparse.Namespace) -> int:
     """``solve``: one cached solve, metrics printed as a table."""
     from repro.runtime import get_registry
 
     net, label = _network_for(args)
-    res = get_registry().solve(net, args.method, cache=not args.no_cache)
+    try:
+        res = get_registry().solve(net, args.method, cache=not args.no_cache)
+    except UnsupportedNetworkError as exc:
+        raise SystemExit(f"solve: {exc}") from exc
     title = (
-        f"{label}: N={net.population}, method={res.method}, "
+        f"{label}: {_describe_population(net)}, method={res.method}, "
         f"{res.wall_time_s:.3f}s"
         + (" (cached)" if res.from_cache else "")
     )
@@ -169,6 +270,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.runtime.sweep import SweepRunner, SweepSpec
 
     sc = get_scenario(args.name)
+    if sc.network().kind == "open":
+        raise SystemExit(
+            f"sweep: {sc.name!r} is an open scenario with no population to "
+            "sweep; use 'solve' (optionally with -p overrides like the "
+            "arrival mean) instead"
+        )
     if args.populations:
         try:
             populations = tuple(
@@ -189,7 +296,16 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         base_seed=args.seed,
     )
     runner = SweepRunner()
-    results = runner.run_spec(spec, workers=args.workers, cache=not args.no_cache)
+    try:
+        results = runner.run_spec(
+            spec, workers=args.workers, cache=not args.no_cache
+        )
+    except UnsupportedNetworkError as exc:
+        # Kind/method compatibility lives in the registry adapters; the
+        # first sweep point surfaces the typed error and we exit cleanly
+        # instead of dumping a traceback (e.g. `sweep mixed-tpcw` without
+        # --method sim).
+        raise SystemExit(f"sweep: {exc}") from exc
     rows = []
     for N, res in zip(populations, results):
         x = res.system_throughput
@@ -247,6 +363,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--population", type=int, default=None)
     _add_param_flag(p)
     p.set_defaults(func=_cmd_render)
+
+    p = sub.add_parser(
+        "validate",
+        help="lint a YAML spec and report stability without solving",
+    )
+    p.add_argument("spec", help="YAML spec file path (or inline YAML text)")
+    p.set_defaults(func=_cmd_validate)
 
     p = sub.add_parser("solve", help="solve one population via the registry")
     p.add_argument("name", nargs="?", default=None,

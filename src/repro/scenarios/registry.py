@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Mapping
 
-from repro.network.model import ClosedNetwork
+from repro.network.model import Network
 from repro.utils.errors import ValidationError
 
 __all__ = ["Scenario", "ScenarioRegistry"]
@@ -34,7 +34,7 @@ class Scenario:
         Longer prose for the docs gallery: what the scenario models and
         which claim of the paper it exercises.
     builder:
-        Callable ``builder(population, **params) -> ClosedNetwork``.
+        Callable ``builder(population, **params) -> Network``.
     defaults:
         Documented default parameters forwarded to ``builder``.
     default_population:
@@ -49,7 +49,7 @@ class Scenario:
 
     name: str
     summary: str
-    builder: Callable[..., ClosedNetwork]
+    builder: Callable[..., Network]
     description: str = ""
     defaults: Mapping[str, Any] = field(default_factory=dict)
     default_population: int = 10
@@ -75,7 +75,7 @@ class Scenario:
 
     def network(
         self, population: int | None = None, **overrides: Any
-    ) -> ClosedNetwork:
+    ) -> Network:
         """Build the scenario's network.
 
         Parameters
@@ -87,7 +87,7 @@ class Scenario:
 
         Returns
         -------
-        ClosedNetwork
+        Network
             The compiled, validated model.
         """
         N = self.default_population if population is None else int(population)

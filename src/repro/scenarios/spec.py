@@ -1,8 +1,9 @@
-"""Declarative model specs: dict/YAML <-> :class:`ClosedNetwork`.
+"""Declarative model specs: dict/YAML <-> :class:`Network`.
 
-A *spec* is a plain JSON-ish tree describing a closed MAP queueing network
-— stations with named service distributions, routing by station name, and
-a job population:
+A *spec* is a plain JSON-ish tree describing a MAP queueing network of any
+kind — stations with named service distributions, routing by station name,
+and either a job population (closed), an external arrival stream (open),
+or both (mixed):
 
 .. code-block:: yaml
 
@@ -16,6 +17,25 @@ a job population:
       clients: {front: 1.0}
       front: {clients: 0.5, db: 0.5}
       db: {front: 1.0}
+
+Open networks replace ``population`` with an ``arrivals`` distribution and
+route through the reserved ``source``/``sink`` pseudo-stations (rows sum to
+1 *including* the sink column):
+
+.. code-block:: yaml
+
+    kind: open
+    arrivals: {dist: map2, mean: 1.0, scv: 16.0, gamma2: 0.5}
+    stations:
+      - {name: q1, service: {dist: exponential, mean: 0.7}}
+      - {name: q2, service: {dist: exponential, mean: 0.6}}
+    routing:
+      source: {q1: 1.0}
+      q1: {q2: 1.0}
+      q2: {sink: 1.0}
+
+Mixed networks carry both a ``population`` (routed by ``routing``) and an
+open chain (``arrivals`` + ``open_routing`` with source/sink rows).
 
 :func:`network_from_spec` compiles a spec to a validated network;
 :func:`network_to_spec` renders any network back to a spec (explicit
@@ -35,7 +55,8 @@ import numpy as np
 from repro.maps import builders
 from repro.maps.fitting import fit_map2, fit_renewal
 from repro.maps.map import MAP
-from repro.network.model import ClosedNetwork
+from repro.network.model import Network
+from repro.network.population import Closed, Mixed, OpenArrivals
 from repro.network.stations import Station
 from repro.utils.errors import NotSupportedError, ValidationError
 
@@ -202,64 +223,304 @@ def _station_from_spec(spec: Mapping[str, Any]) -> Station:
     return Station(name=name, service=service, kind=kind, servers=servers)
 
 
+#: Reserved pseudo-station names in open/mixed routing specs: a ``source``
+#: row declares the entry distribution, a ``sink`` destination the exit
+#: probability.  Rows of an open routing spec must sum to 1 *including*
+#: the sink column — the augmented matrix is row-stochastic.
+SOURCE_NAME = "source"
+SINK_NAME = "sink"
+
+
 def _routing_from_spec(
-    routing: "Mapping[str, Mapping[str, float]] | Any", names: list[str]
-) -> np.ndarray:
-    """Compile the routing entry (name-keyed mapping or explicit matrix)."""
-    if isinstance(routing, Mapping):
-        index = {name: i for i, name in enumerate(names)}
-        P = np.zeros((len(names), len(names)))
-        for src, row in routing.items():
-            if src not in index:
-                raise ValidationError(
-                    f"routing: unknown source station {src!r}; stations are {names}"
-                )
-            if not isinstance(row, Mapping):
-                raise ValidationError(
-                    f"routing[{src!r}] must map destination names to "
-                    f"probabilities, got {type(row).__name__}"
-                )
+    routing: "Mapping[str, Mapping[str, float]] | Any",
+    names: list[str],
+    open_chain: bool = False,
+    context: str = "routing",
+) -> "tuple[np.ndarray, np.ndarray | None, set[str] | None]":
+    """Compile a routing entry (name-keyed mapping or explicit matrix).
+
+    Parameters
+    ----------
+    routing:
+        Name-keyed mapping (rows may use the reserved ``source``/``sink``
+        pseudo-stations when ``open_chain``) or an explicit matrix.
+    names:
+        Station names in index order.
+    open_chain:
+        Parse open-chain semantics: accept a ``source`` row (entry
+        distribution), accept ``sink`` destinations, and require each
+        station row to sum to 1 *including* its sink mass.
+    context:
+        Spec-path prefix for error messages.
+
+    Returns
+    -------
+    tuple
+        ``(P, entry, declared)`` — the internal (sub)stochastic matrix;
+        for open chains declared with a ``source`` row, the entry vector
+        (else ``None``); and the set of station names that declared a
+        routing row (``None`` for the explicit-matrix form, whose rows
+        are all present by construction).
+    """
+    if not isinstance(routing, Mapping):
+        return np.asarray(routing, dtype=float), None, None
+    index = {name: i for i, name in enumerate(names)}
+    M = len(names)
+    P = np.zeros((M, M))
+    entry = None
+    declared: set[str] = set()
+    for src, row in routing.items():
+        if not isinstance(row, Mapping):
+            raise ValidationError(
+                f"{context}[{src!r}] must map destination names to "
+                f"probabilities, got {type(row).__name__}"
+            )
+        if open_chain and src == SOURCE_NAME:
+            entry = np.zeros(M)
             for dst, prob in row.items():
                 if dst not in index:
                     raise ValidationError(
-                        f"routing[{src!r}]: unknown destination {dst!r}; "
-                        f"stations are {names}"
+                        f"{context}[{SOURCE_NAME!r}]: unknown entry station "
+                        f"{dst!r}; stations are {names}"
                     )
-                P[index[src], index[dst]] = float(prob)
-        return P
-    return np.asarray(routing, dtype=float)
+                entry[index[dst]] = float(prob)
+            continue
+        if src not in index:
+            extras = f" (or {SOURCE_NAME!r})" if open_chain else ""
+            raise ValidationError(
+                f"{context}: unknown source station {src!r}; stations are "
+                f"{names}{extras}"
+            )
+        declared.add(src)
+        sink_mass = 0.0
+        for dst, prob in row.items():
+            if open_chain and dst == SINK_NAME:
+                sink_mass += float(prob)
+                continue
+            if dst not in index:
+                extras = f" (or {SINK_NAME!r})" if open_chain else ""
+                raise ValidationError(
+                    f"{context}[{src!r}]: unknown destination {dst!r}; "
+                    f"stations are {names}{extras}"
+                )
+            P[index[src], index[dst]] = float(prob)
+        if open_chain:
+            total = P[index[src]].sum() + sink_mass
+            if abs(total - 1.0) > 1e-9:
+                raise ValidationError(
+                    f"{context}[{src!r}]: open routing rows must sum to 1 "
+                    f"including the {SINK_NAME!r} column, got {total:.6g} "
+                    f"(add an explicit 'sink: p' entry for the exit mass)"
+                )
+    return P, entry, declared
 
 
-def network_from_spec(spec: Mapping[str, Any]) -> ClosedNetwork:
-    """Compile a declarative spec to a validated :class:`ClosedNetwork`.
+def _check_rows_declared(
+    P: np.ndarray,
+    entry: Any,
+    declared: "set[str] | None",
+    names: "list[str]",
+    context: str,
+) -> None:
+    """Every station the open chain can reach must declare a routing row.
+
+    An absent row would otherwise compile to a zero row — i.e. a silent
+    100% exit to the sink — defeating the "a forgotten exit edge is a
+    compile error, never a silent leak" invariant the per-row sum check
+    enforces for declared rows.  Runs after the *final* entry distribution
+    is known, so the ``entry:``-key form is covered just like a ``source``
+    row; the builder's ``_check_open_rows`` enforces the same invariant on
+    its path.  Reachability comes from the shared
+    :func:`repro.network.routing.open_reachable_stations`.
+    """
+    if declared is None:
+        return  # explicit-matrix form: every row is present by construction
+    from repro.network.population import resolve_entry
+    from repro.network.routing import open_reachable_stations
+
+    entry_vec = resolve_entry(entry, names)
+    for k in sorted(open_reachable_stations(np.asarray(P), entry_vec)):
+        if names[k] not in declared:
+            raise ValidationError(
+                f"{context}: station {names[k]!r} is reachable from the "
+                f"source but declares no routing row; route it explicitly "
+                f"(e.g. {names[k]!r}: {{{SINK_NAME}: 1.0}})"
+            )
+
+
+def _spec_kind(spec: Mapping[str, Any]) -> str:
+    """Resolve (or infer) the ``kind`` discriminator of a network spec.
+
+    Explicit ``kind: closed|open|mixed`` wins; otherwise the kind is
+    inferred from which of ``population``/``arrivals`` are present, so
+    pre-redesign closed specs compile unchanged.
+    """
+    has_pop = "population" in spec
+    has_arr = "arrivals" in spec
+    inferred = (
+        "mixed" if (has_pop and has_arr)
+        else "open" if has_arr
+        else "closed"
+    )
+    kind = str(spec.get("kind", inferred)).lower()
+    if kind not in ("closed", "open", "mixed"):
+        raise ValidationError(
+            f"spec: unknown kind {kind!r}; expected closed, open, or mixed"
+        )
+    if kind == "closed" and has_arr:
+        raise ValidationError(
+            "spec: kind 'closed' but an 'arrivals' key is present; drop it "
+            "or declare kind: open|mixed"
+        )
+    if kind in ("open", "mixed") and not has_arr:
+        raise ValidationError(
+            f"spec: kind {kind!r} needs an 'arrivals' distribution spec"
+        )
+    if kind == "open" and has_pop:
+        raise ValidationError(
+            "spec: kind 'open' takes no 'population' (did you mean mixed?)"
+        )
+    if kind in ("closed", "mixed") and not has_pop:
+        raise ValidationError(f"spec: kind {kind!r} needs a 'population'")
+    return kind
+
+
+def network_from_spec(spec: Mapping[str, Any]) -> Network:
+    """Compile a declarative spec to a validated :class:`Network`.
 
     Parameters
     ----------
     spec:
-        Mapping with ``population``, ``stations`` (list of station specs),
-        and ``routing`` (name-keyed mapping or explicit matrix).  Extra
-        keys (``name``, ``description``, ...) are ignored, so scenario
-        documents compile as-is.
+        Mapping with ``stations`` (list of station specs) and ``routing``
+        (name-keyed mapping or explicit matrix), plus kind-dependent keys:
+        ``population`` (closed/mixed), ``arrivals`` — a distribution spec
+        for the external MAP — and, for open chains, a ``source`` row and
+        ``sink`` destinations in the routing (rows sum to 1 including the
+        sink column); mixed specs add ``open_routing`` for the open chain.
+        An explicit ``kind: closed|open|mixed`` is optional — it is
+        inferred from which keys are present.  Extra keys (``name``,
+        ``description``, ...) are ignored, so scenario documents compile
+        as-is.
 
     Returns
     -------
-    ClosedNetwork
-        The compiled network (validation errors propagate).
+    Network
+        The compiled network (validation errors propagate, including the
+        open-chain stability check ``rho_k < 1``).
     """
     if not isinstance(spec, Mapping):
         raise ValidationError(f"spec must be a mapping, got {type(spec).__name__}")
+    kind = _spec_kind(spec)
     station_specs = _require(spec, "stations", "spec")
     if not isinstance(station_specs, (list, tuple)) or not station_specs:
         raise ValidationError("spec: 'stations' must be a non-empty list")
     stations = [_station_from_spec(s) for s in station_specs]
     names = [s.name for s in stations]
-    routing = _routing_from_spec(_require(spec, "routing", "spec"), names)
-    population = int(_require(spec, "population", "spec"))
-    return ClosedNetwork(stations, routing, population)
+    if kind != "closed":
+        for reserved in (SOURCE_NAME, SINK_NAME):
+            if reserved in names:
+                raise ValidationError(
+                    f"spec: station name {reserved!r} is reserved in "
+                    f"{kind} networks (it denotes the external "
+                    f"{'entry' if reserved == SOURCE_NAME else 'exit'})"
+                )
+
+    if kind == "closed":
+        routing, _, _ = _routing_from_spec(_require(spec, "routing", "spec"), names)
+        return Network(stations, routing, int(_require(spec, "population", "spec")))
+
+    arrivals = service_from_spec(_require(spec, "arrivals", "spec"))
+    if kind == "open":
+        routing, entry, declared = _routing_from_spec(
+            _require(spec, "routing", "spec"), names, open_chain=True
+        )
+        if "entry" in spec:
+            if entry is not None:
+                raise ValidationError(
+                    f"spec declares both a {SOURCE_NAME!r} routing row and "
+                    "an 'entry' key; give the entry distribution once"
+                )
+            entry = spec["entry"]
+        elif entry is None:
+            raise ValidationError(
+                "open spec needs an entry distribution: give a "
+                f"{SOURCE_NAME!r} routing row or an 'entry' key"
+            )
+        _check_rows_declared(routing, entry, declared, names, "routing")
+        return Network(stations, routing, OpenArrivals(arrivals, entry=entry))
+
+    # mixed: primary routing for the closed chain, open_routing for the open
+    routing, _, _ = _routing_from_spec(_require(spec, "routing", "spec"), names)
+    open_routing, entry, declared = _routing_from_spec(
+        _require(spec, "open_routing", "spec"), names, open_chain=True,
+        context="open_routing",
+    )
+    if "entry" in spec:
+        if entry is not None:
+            raise ValidationError(
+                f"spec declares both a {SOURCE_NAME!r} open_routing row and "
+                "an 'entry' key; give the entry distribution once"
+            )
+        entry = spec["entry"]
+    elif entry is None:
+        raise ValidationError(
+            "mixed spec needs an entry distribution: give a "
+            f"{SOURCE_NAME!r} row in open_routing or an 'entry' key"
+        )
+    _check_rows_declared(open_routing, entry, declared, names, "open_routing")
+    population = Mixed(
+        Closed(int(_require(spec, "population", "spec"))),
+        OpenArrivals(arrivals, entry=entry),
+    )
+    return Network(stations, routing, population, open_routing=open_routing)
 
 
-def network_to_spec(network: ClosedNetwork, name: str | None = None) -> dict:
+def _routing_to_spec(
+    P: np.ndarray,
+    names: "list[str]",
+    entry: "np.ndarray | None" = None,
+    open_chain: bool = False,
+) -> dict:
+    """Render a routing matrix as a name-keyed mapping.
+
+    Open chains render a ``source`` row from the entry vector and explicit
+    ``sink`` masses so every declared row sums to 1 including the sink
+    column.  Stations the open chain cannot reach (mixed networks'
+    closed-only stations) have all-zero rows and render *no* row at all —
+    emitting a synthetic ``sink: 1.0`` edge for them would assert routing
+    that does not exist.
+    """
+    from repro.network.routing import open_reachable_stations
+
+    routing: dict[str, dict[str, float]] = {}
+    reachable = None
+    if open_chain and entry is not None:
+        routing[SOURCE_NAME] = {
+            names[j]: float(entry[j]) for j in range(len(names)) if entry[j] != 0.0
+        }
+        reachable = open_reachable_stations(P, entry)
+    for i, src in enumerate(names):
+        row = {
+            names[j]: float(P[i, j]) for j in range(len(names)) if P[i, j] != 0.0
+        }
+        if open_chain:
+            if not row and reachable is not None and i not in reachable:
+                continue  # closed-only station: no open row to declare
+            exit_mass = 1.0 - float(P[i].sum())
+            if exit_mass > 1e-12:
+                row[SINK_NAME] = exit_mass
+        if row:
+            routing[src] = row
+    return routing
+
+
+def network_to_spec(network: Network, name: str | None = None) -> dict:
     """Render a network as a declarative spec (the inverse of compile).
+
+    Closed networks render exactly as before the unified-``Network``
+    redesign (no ``kind`` key), so existing rendered specs and their
+    fingerprints are byte-stable.  Open and mixed networks add ``kind``,
+    ``arrivals``, and ``source``/``sink`` routing rows.
 
     Parameters
     ----------
@@ -273,10 +534,16 @@ def network_to_spec(network: ClosedNetwork, name: str | None = None) -> dict:
     dict
         A spec whose compilation fingerprints identically to ``network``.
     """
+    kind = network.kind
     spec: dict[str, Any] = {}
     if name is not None:
         spec["name"] = name
-    spec["population"] = int(network.population)
+    if kind != "closed":
+        spec["kind"] = kind
+    if kind in ("closed", "mixed"):
+        spec["population"] = int(network.population)
+    if kind != "closed":
+        spec["arrivals"] = service_to_spec(network.arrivals)
     stations = []
     for st in network.stations:
         entry: dict[str, Any] = {
@@ -288,16 +555,19 @@ def network_to_spec(network: ClosedNetwork, name: str | None = None) -> dict:
             entry["servers"] = int(st.servers)
         stations.append(entry)
     spec["stations"] = stations
-    routing: dict[str, dict[str, float]] = {}
     names = [st.name for st in network.stations]
     P = np.asarray(network.routing)
-    for i, src in enumerate(names):
-        row = {
-            names[j]: float(P[i, j]) for j in range(len(names)) if P[i, j] != 0.0
-        }
-        if row:
-            routing[src] = row
-    spec["routing"] = routing
+    if kind == "open":
+        spec["routing"] = _routing_to_spec(
+            P, names, entry=network.entry, open_chain=True
+        )
+    else:
+        spec["routing"] = _routing_to_spec(P, names)
+    if kind == "mixed":
+        spec["open_routing"] = _routing_to_spec(
+            np.asarray(network.open_routing), names,
+            entry=network.entry, open_chain=True,
+        )
     return spec
 
 

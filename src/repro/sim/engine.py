@@ -1,4 +1,4 @@
-"""Discrete-event simulation engine for closed MAP queueing networks.
+"""Discrete-event simulation engine for MAP queueing networks.
 
 The simulator plays the role of the paper's *measurement testbed*: it
 implements exactly the semantics of the analytic model (FCFS stations, MAP
@@ -6,10 +6,20 @@ service with phase frozen while idle, probabilistic routing) so that the
 exact solver, the LP bounds, and "measurements" can be compared on equal
 footing, plus it scales to populations where the CTMC is prohibitive.
 
+All three network kinds simulate through the same event loop:
+
+* **closed** — ``N`` jobs circulate forever (the pre-redesign behavior);
+* **open** — an external MAP arrival stream injects jobs at the entry
+  distribution; routing rows are substochastic and the deficit routes a
+  job out of the system (the sink);
+* **mixed** — both at once; closed jobs route by ``network.routing`` and
+  open jobs by ``network.open_routing`` (job identity decides the class).
+
 Design: a binary-heap event calendar holds one service-completion event per
-busy server.  Statistics (busy-time/queue-length integrals, completion
-counts, per-visit response times) are accumulated lazily per station and
-reset once at the warmup boundary.
+busy server plus, for open chains, the single pending external-arrival
+event.  Statistics (busy-time/queue-length integrals, completion counts,
+per-visit response times) are accumulated lazily per station and reset once
+at the warmup boundary.
 """
 
 from __future__ import annotations
@@ -20,21 +30,26 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.maps.trace import MapSampler
-from repro.network.model import ClosedNetwork
+from repro.network.model import Network
 from repro.sim.taps import FlowTap
 from repro.utils.rng import as_rng
 
 __all__ = ["SimResult", "simulate"]
+
+#: Calendar marker for external-arrival events (not a station index).
+_ARRIVAL = -1
 
 
 @dataclass
 class SimResult:
     """Steady-state estimates from one simulation run.
 
-    All quantities are measured after the warmup boundary.
+    All quantities are measured after the warmup boundary.  Open-chain
+    extras (``sink_departures``, ``external_arrivals``) stay zero for
+    closed networks.
     """
 
-    network: ClosedNetwork
+    network: Network
     duration: float
     completions: np.ndarray
     utilization: np.ndarray
@@ -43,14 +58,69 @@ class SimResult:
     response_mean: np.ndarray
     response_samples: "list[np.ndarray]"
     taps: "list[FlowTap]" = field(default_factory=list)
+    sink_departures: int = 0
+    external_arrivals: int = 0
+    #: Per-station mean count of *open-chain* jobs (None for closed runs;
+    #: equals mean_queue_length for pure open runs).
+    mean_queue_length_open: "np.ndarray | None" = None
+    #: Per-station completion counts of *open-chain* jobs (None for closed
+    #: runs); closed-chain completions are ``completions - completions_open``.
+    completions_open: "np.ndarray | None" = None
 
     def system_throughput(self, reference: int = 0) -> float:
-        """Completions per unit time at the reference station."""
+        """System-level flow rate of the *primary* chain.
+
+        Closed networks report completions per unit time at the reference
+        station (the paper's convention); mixed networks count only the
+        closed chain's completions there, so open-chain traffic through
+        the reference station never inflates the closed cycle rate.  A
+        pure open network reports the sink departure rate, which equals
+        the external arrival rate in steady state.
+        """
+        if self.network.kind == "open":
+            return float(self.sink_departures) / self.duration
+        if self.network.kind == "mixed":
+            closed_completions = (
+                self.completions[reference] - self.completions_open[reference]
+            )
+            return float(closed_completions) / self.duration
         return float(self.throughput[reference])
 
     def response_time(self, reference: int = 0) -> float:
-        """Little's-law response time ``N / X_ref``."""
-        return self.network.population / self.system_throughput(reference)
+        """Mean time in system per job of the *primary* chain.
+
+        Closed and mixed: Little's-law response time of the closed chain,
+        ``N / X_ref`` with ``X_ref`` the closed chain's own completion
+        rate (for mixed networks the open class has its own metric,
+        :meth:`open_response_time`, since the two chains have different
+        flows).  Open: Little's law on the measured totals,
+        ``E[jobs in system] / X``.  ``nan`` when the relevant flow saw no
+        completions (horizon too short).
+        """
+        if self.network.kind != "open":
+            x = self.system_throughput(reference)
+            if x <= 0.0:
+                return float("nan")
+            return self.network.population / x
+        x = self.system_throughput(reference)
+        if x <= 0.0:
+            return float("nan")
+        return float(self.mean_queue_length.sum()) / x
+
+    def open_response_time(self) -> float:
+        """Open-chain time in system, ``E[open jobs] / sink rate`` (Little).
+
+        Defined for open and mixed runs; for pure open runs this equals
+        :meth:`response_time`.  Returns ``nan`` when the run observed no
+        sink departures (a too-short horizon relative to the arrival
+        rate), never a division error.
+        """
+        if self.mean_queue_length_open is None:
+            raise ValueError("closed simulation has no open chain")
+        if self.sink_departures <= 0:
+            return float("nan")
+        sink_rate = self.sink_departures / self.duration
+        return float(self.mean_queue_length_open.sum()) / sink_rate
 
 
 class _StationSim:
@@ -65,6 +135,7 @@ class _StationSim:
         "waiting",
         "in_service",
         "n",
+        "n_open",
         "arrival_time",
     )
 
@@ -74,6 +145,7 @@ class _StationSim:
             np.inf if station.kind == "delay" else 1
         )
         self.n = 0
+        self.n_open = 0
         self.in_service = 0
         self.waiting: list[int] = []  # FCFS order of jobs not yet in service
         self.arrival_time: dict[int, float] = {}
@@ -87,20 +159,37 @@ class _StationSim:
             self.rate = float(station.service.D1[0, 0])
 
 
+def _routing_cum(P: np.ndarray, open_chain: bool) -> np.ndarray:
+    """Cumulative routing rows; open rows gain a terminal sink column.
+
+    Closed rows are forced to end at 1 over the last *station* (guarding
+    against float drift); open rows end at 1 over the appended sink column,
+    so a uniform draw beyond the internal mass routes the job out.
+    """
+    M = P.shape[0]
+    if not open_chain:
+        cum = np.cumsum(P, axis=1)
+        cum[:, -1] = 1.0
+        return cum
+    cum = np.cumsum(np.hstack([P, np.zeros((M, 1))]), axis=1)
+    cum[:, -1] = 1.0
+    return cum
+
+
 def simulate(
-    network: ClosedNetwork,
+    network: Network,
     horizon_events: int = 200_000,
     warmup_events: int = 20_000,
     rng=None,
     taps: "list[FlowTap] | None" = None,
     initial_station: int = 0,
 ) -> SimResult:
-    """Simulate the closed network for a fixed number of completions.
+    """Simulate the network for a fixed number of service completions.
 
     Parameters
     ----------
     network:
-        The model to simulate.
+        The model to simulate (closed, open, or mixed).
     horizon_events:
         Total service completions to simulate (including warmup).
     warmup_events:
@@ -110,12 +199,14 @@ def simulate(
     taps:
         Optional :class:`FlowTap` list recording flow event epochs.
     initial_station:
-        Station where all jobs start (queued); the default places them at
-        station 0, matching the closed-network convention.
+        Station where closed jobs start (queued); the default places them
+        at station 0, matching the closed-network convention.  Open chains
+        start empty and are driven by the arrival process.
     """
     gen = as_rng(rng)
     M = network.n_stations
-    N = network.population
+    kind = network.kind
+    N = network.population if kind != "open" else 0
     taps = taps or []
     arr_taps: list[list[FlowTap]] = [[] for _ in range(M)]
     dep_taps: list[list[FlowTap]] = [[] for _ in range(M)]
@@ -123,8 +214,22 @@ def simulate(
         (arr_taps if tap.direction == "arrival" else dep_taps)[tap.station].append(tap)
 
     stations = [_StationSim(st, gen) for st in network.stations]
-    routing_cum = np.cumsum(network.routing, axis=1)
-    routing_cum[:, -1] = 1.0
+    closed_cum = (
+        _routing_cum(network.routing, open_chain=False)
+        if kind in ("closed", "mixed")
+        else None
+    )
+    open_cum = (
+        _routing_cum(np.asarray(network.open_routing_matrix), open_chain=True)
+        if kind != "closed"
+        else None
+    )
+    if kind != "closed":
+        entry_cum = np.cumsum(np.asarray(network.entry))
+        entry_cum[-1] = 1.0
+        arrival_sampler = MapSampler(network.arrivals)
+        arrival_phase = arrival_sampler.initial_phase(gen)
+    next_open_job = N  # open jobs get fresh ids above the closed range
 
     calendar: list[tuple[float, int, int, int]] = []  # (time, seq, station, job)
     seq = 0
@@ -135,7 +240,11 @@ def simulate(
     last_change = np.zeros(M)  # last time station k's n changed
     busy_int = np.zeros(M)
     qlen_int = np.zeros(M)
+    qlen_open_int = np.zeros(M)
     completions = np.zeros(M, dtype=np.int64)
+    completions_open = np.zeros(M, dtype=np.int64)
+    sink_departures = 0
+    external_arrivals = 0
     resp: list[list[float]] = [[] for _ in range(M)]
     collecting = warmup_events == 0
 
@@ -145,6 +254,7 @@ def simulate(
         if dt > 0.0:
             st = stations[k]
             qlen_int[k] += st.n * dt
+            qlen_open_int[k] += st.n_open * dt
             if st.n >= 1:
                 busy_int[k] += dt
         last_change[k] = now
@@ -168,6 +278,8 @@ def simulate(
         st = stations[k]
         _flush(k)
         st.n += 1
+        if job >= N:
+            st.n_open += 1
         st.waiting.append(job)
         if collecting:
             st.arrival_time[job] = now
@@ -175,33 +287,65 @@ def simulate(
                 tap.record(now)
         _start_service(k)
 
-    # Initial placement: all jobs at `initial_station`.
+    def _schedule_arrival() -> None:
+        """Queue the next external-arrival event (open/mixed only)."""
+        nonlocal seq, arrival_phase
+        interval, arrival_phase = arrival_sampler.sample_one(arrival_phase, gen)
+        seq += 1
+        heapq.heappush(calendar, (now + interval, seq, _ARRIVAL, -1))
+
+    # Initial state: closed jobs at `initial_station`, open chains empty
+    # with the first arrival pending.
     for job in range(N):
         _arrive(initial_station, job)
+    if kind != "closed":
+        _schedule_arrival()
 
     total_completions = 0
     while total_completions < horizon_events:
         if not calendar:
             raise RuntimeError("event calendar ran dry (no busy stations)")
         now, _, j, job = heapq.heappop(calendar)
+
+        if j == _ARRIVAL:
+            if collecting:
+                external_arrivals += 1
+            k = int(np.searchsorted(entry_cum, gen.random(), side="right"))
+            _arrive(k, next_open_job)
+            next_open_job += 1
+            _schedule_arrival()
+            continue
+
         st = stations[j]
         _flush(j)
         st.n -= 1
+        if job >= N:
+            st.n_open -= 1
         st.in_service -= 1
         total_completions += 1
         if collecting:
             completions[j] += 1
+            if job >= N:
+                completions_open[j] += 1
             t_arr = st.arrival_time.pop(job, None)
             if t_arr is not None:
                 resp[j].append(now - t_arr)
             for tap in dep_taps[j]:
                 tap.record(now)
+        else:
+            st.arrival_time.pop(job, None)
         _start_service(j)
 
-        # Route the job.
+        # Route the job by its class (closed ids are 0..N-1).
+        cum_row = (closed_cum if job < N else open_cum)[j]
         u = gen.random()
-        k = int(np.searchsorted(routing_cum[j], u, side="right"))
-        _arrive(k, job)
+        k = int(np.searchsorted(cum_row, u, side="right"))
+        if k >= M:
+            # Open-chain exit to the sink: the job leaves the system.
+            if collecting:
+                sink_departures += 1
+        else:
+            _arrive(k, job)
 
         if not collecting and total_completions >= warmup_events:
             # Warmup boundary: reset all statistics, keep the system state.
@@ -210,7 +354,11 @@ def simulate(
             last_change[:] = now
             busy_int[:] = 0.0
             qlen_int[:] = 0.0
+            qlen_open_int[:] = 0.0
             completions[:] = 0
+            completions_open[:] = 0
+            sink_departures = 0
+            external_arrivals = 0
             for k2 in range(M):
                 resp[k2].clear()
                 stations[k2].arrival_time.clear()
@@ -237,4 +385,10 @@ def simulate(
         response_mean=response_mean,
         response_samples=response_samples,
         taps=taps,
+        sink_departures=sink_departures,
+        external_arrivals=external_arrivals,
+        mean_queue_length_open=(
+            qlen_open_int / duration if kind != "closed" else None
+        ),
+        completions_open=completions_open if kind != "closed" else None,
     )

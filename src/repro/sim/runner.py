@@ -7,7 +7,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.analysis.stats import confidence_interval
-from repro.network.model import ClosedNetwork
+from repro.network.model import Network
 from repro.sim.engine import SimResult, simulate
 from repro.utils.rng import as_rng
 
@@ -18,7 +18,7 @@ __all__ = ["ReplicatedResult", "replicate"]
 class ReplicatedResult:
     """Mean estimates with t-confidence intervals across replications."""
 
-    network: ClosedNetwork
+    network: Network
     n_replications: int
     utilization_mean: np.ndarray
     utilization_ci: np.ndarray  # (M, 2) lower/upper
@@ -27,20 +27,55 @@ class ReplicatedResult:
     queue_length_mean: np.ndarray
     queue_length_ci: np.ndarray
     results: "tuple[SimResult, ...]"
+    confidence: float = 0.95
+
+    def _system_flow_samples(self, reference: int) -> np.ndarray:
+        """Per-replication primary-chain flow (closed-chain-only for mixed).
+
+        ``SimResult.system_throughput`` already subtracts open-chain
+        completions at the reference station, so mixed networks never see
+        the open class inflate the closed cycle rate here either.
+        """
+        return np.array(
+            [r.system_throughput(reference) for r in self.results]
+        )
 
     def response_time(self, reference: int = 0) -> float:
-        """Point estimate ``N / X_ref`` from the mean throughput."""
-        return self.network.population / float(self.throughput_mean[reference])
+        """Point estimate of the primary chain's response time.
+
+        Closed and mixed: ``N / X_ref`` with ``X_ref`` the closed chain's
+        own mean completion rate at the reference station.  Open: the
+        mean of the per-replication Little's-law estimates (open networks
+        have no fixed ``N``).
+        """
+        if self.network.kind != "open":
+            return self.network.population / float(
+                self._system_flow_samples(reference).mean()
+            )
+        return float(
+            np.mean([r.response_time(reference) for r in self.results])
+        )
 
     def response_time_ci(self, reference: int = 0) -> tuple[float, float]:
-        """CI for ``N / X_ref`` mapped through the throughput CI."""
-        lo_x, hi_x = self.throughput_ci[reference]
-        N = self.network.population
-        return N / hi_x, N / lo_x
+        """CI for the response time (at :attr:`confidence`).
+
+        Closed and mixed: ``N / X_ref`` mapped through a t-interval over
+        the per-replication closed-chain flows.  Open: a t-interval over
+        the per-replication Little's-law estimates.
+        """
+        if self.network.kind != "open":
+            _, lo_x, hi_x = confidence_interval(
+                self._system_flow_samples(reference), self.confidence
+            )
+            N = self.network.population
+            return N / hi_x, N / lo_x
+        samples = np.array([r.response_time(reference) for r in self.results])
+        _, lo, hi = confidence_interval(samples, self.confidence)
+        return float(lo), float(hi)
 
 
 def replicate(
-    network: ClosedNetwork,
+    network: Network,
     n_replications: int = 5,
     horizon_events: int = 100_000,
     warmup_events: int = 10_000,
@@ -86,4 +121,5 @@ def replicate(
         queue_length_mean=q_m,
         queue_length_ci=q_ci,
         results=results,
+        confidence=confidence,
     )

@@ -27,3 +27,45 @@ class SolverError(ReproError, RuntimeError):
 
 class NotSupportedError(ReproError, NotImplementedError):
     """The requested combination of features is not supported by this method."""
+
+
+class UnsupportedNetworkError(NotSupportedError):
+    """A solver was asked to handle a network kind it does not support.
+
+    Raised, e.g., when a closed-network-only method (exact CTMC, MVA, the
+    LP bounds) receives an open or mixed :class:`~repro.network.model.Network`.
+    Deriving from :class:`NotSupportedError` keeps pre-redesign ``except``
+    clauses working.
+    """
+
+    def __init__(self, method: str, kind: str, supported: str = "closed"):
+        self.method = method
+        self.kind = kind
+        self.supported = supported
+        hint = (
+            "mixed networks solve via the 'sim' method"
+            if kind == "mixed"
+            else "open chains solve via the 'qbd' and 'sim' methods"
+        )
+        super().__init__(
+            f"method {method!r} supports {supported} networks only, got a "
+            f"{kind} network ({hint})"
+        )
+
+    def __reduce__(self):
+        # Exception.args holds the formatted message, which the default
+        # unpickler would pass as `method` and then fail on the missing
+        # `kind`; rebuild from the structured fields instead (sweep
+        # workers ship these errors across process boundaries).
+        return (type(self), (self.method, self.kind, self.supported))
+
+
+class NearInstabilityWarning(UserWarning):
+    """A queue is stable but operating so close to saturation that
+    matrix-geometric quantities (queue lengths, tails) are numerically
+    extreme and slowly converging.
+
+    Emitted by the QBD layer when the spectral radius of ``R`` exceeds
+    ``1 - eps``; the message names the offending station when the caller
+    provided one.
+    """

@@ -1,12 +1,18 @@
 """Workload substrates: reusable model generators for the scenario layer.
 
 Each generator returns a validated
-:class:`~repro.network.model.ClosedNetwork` and is wired into the
+:class:`~repro.network.model.Network` and is wired into the
 :mod:`repro.scenarios` registry:
 
 * :func:`tpcw_model` — the paper's TPC-W multi-tier case study (Figs. 1-3);
 * :func:`tandem_model` / :func:`poisson_tandem_model` — the bursty vs
   memoryless two-queue tandems of Figure 4;
+* :func:`open_tandem_model` — the open tandem driven by a bursty MAP
+  arrival stream (source -> q1 -> q2 -> sink);
+* :func:`open_web_tier_model` — open feed-forward three-tier web model
+  with Bernoulli fan-out to app/database tiers;
+* :func:`mixed_tpcw_model` — the TPC-W closed browser chain plus an open
+  anonymous-browse class sharing the same tiers;
 * :func:`central_server_model` — CPU + parallel disks with hyperexponential
   service and load-skewed routing;
 * :func:`random_3queue_model` — the random-model protocol of Table 1;
@@ -17,16 +23,22 @@ Each generator returns a validated
 from repro.workloads.bursty import BURSTINESS_LEVELS, BurstinessLevel, bursty_service
 from repro.workloads.central import central_server_model, skewed_disk_probabilities
 from repro.workloads.randomnet import random_3queue_model
-from repro.workloads.tandem import poisson_tandem_model, tandem_model
+from repro.workloads.tandem import (
+    open_tandem_model,
+    poisson_tandem_model,
+    tandem_model,
+)
 from repro.workloads.tpcw import (
     CLIENT,
     DB,
     FRONT,
     TpcwFlowTaps,
     TpcwParameters,
+    mixed_tpcw_model,
     tpcw_flow_taps,
     tpcw_model,
 )
+from repro.workloads.webtier import open_web_tier_model
 
 __all__ = [
     "BURSTINESS_LEVELS",
@@ -34,11 +46,14 @@ __all__ = [
     "bursty_service",
     "central_server_model",
     "skewed_disk_probabilities",
+    "open_tandem_model",
+    "open_web_tier_model",
     "poisson_tandem_model",
     "random_3queue_model",
     "tandem_model",
     "TpcwFlowTaps",
     "TpcwParameters",
+    "mixed_tpcw_model",
     "tpcw_model",
     "tpcw_flow_taps",
     "CLIENT",

@@ -19,7 +19,7 @@ import numpy as np
 
 from repro.maps.builders import exponential, hyperexponential
 from repro.maps.fitting import fit_hyperexp_balanced
-from repro.network.model import ClosedNetwork
+from repro.network.model import Network
 from repro.network.stations import queue
 from repro.utils.errors import ValidationError
 
@@ -61,7 +61,7 @@ def central_server_model(
     disk_mean: float = 0.5,
     cpu_scv: float = 1.0,
     skew: float | None = None,
-) -> ClosedNetwork:
+) -> Network:
     """Closed central-server network: CPU dispatching to parallel disks.
 
     Each job alternates CPU bursts and disk accesses: after a CPU burst it
@@ -87,7 +87,7 @@ def central_server_model(
 
     Returns
     -------
-    ClosedNetwork
+    Network
         The ``1 + n_disks``-station central-server network.
     """
     if cpu_scv < 1.0:
@@ -110,4 +110,4 @@ def central_server_model(
     stations += [
         queue(f"disk{i + 1}", exponential(1.0 / disk_mean)) for i in range(n_disks)
     ]
-    return ClosedNetwork(stations, routing, population)
+    return Network(stations, routing, population)

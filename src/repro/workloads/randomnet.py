@@ -12,7 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.maps.random import RandomMap2Config, random_exponential, random_map2
-from repro.network.model import ClosedNetwork
+from repro.network.model import Network
 from repro.network.stations import queue
 from repro.utils.rng import as_rng
 
@@ -24,7 +24,7 @@ def random_3queue_model(
     rng: "int | np.random.Generator | None" = None,
     map_probability: float = 2.0 / 3.0,
     map_config: RandomMap2Config | None = None,
-) -> ClosedNetwork:
+) -> Network:
     """One random 3-queue closed network in the paper's Table 1 style.
 
     Each station is a MAP(2) server with probability ``map_probability``
@@ -47,7 +47,7 @@ def random_3queue_model(
 
     Returns
     -------
-    ClosedNetwork
+    Network
         A validated random three-station network.
     """
     gen = as_rng(rng)
@@ -62,6 +62,6 @@ def random_3queue_model(
     while True:
         routing = gen.dirichlet(np.ones(3), size=3)
         try:
-            return ClosedNetwork(stations, routing, population)
+            return Network(stations, routing, population)
         except Exception:
             continue  # redraw on (rare) degenerate routing

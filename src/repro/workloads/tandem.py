@@ -1,4 +1,4 @@
-"""Closed two-queue tandem workloads (the paper's Figure 4 setting).
+"""Two-queue tandem workloads (the paper's Figure 4 setting).
 
 The tandem is the smallest network that exhibits the paper's core
 phenomenon: when queue 1's service process is a *nonrenewal* MAP(2), the
@@ -7,7 +7,10 @@ grows, while the exact CTMC (and the paper's LP bounds) track the true
 utilization.  :func:`tandem_model` builds the bursty variant;
 :func:`poisson_tandem_model` is the memoryless control with the *same*
 service demands, so any behavioural gap between the two is attributable to
-temporal dependence alone.
+temporal dependence alone.  :func:`open_tandem_model` is the open-network
+counterpart: the burstiness moves from queue 1's *service* into the
+external *arrival* stream, the regime of the MAP-driven infinite-server
+and mean-field literature the repository tracks.
 """
 
 from __future__ import annotations
@@ -16,10 +19,11 @@ import numpy as np
 
 from repro.maps.builders import exponential
 from repro.maps.fitting import fit_map2
-from repro.network.model import ClosedNetwork
+from repro.network.model import Network
+from repro.network.population import OpenArrivals
 from repro.network.stations import queue
 
-__all__ = ["tandem_model", "poisson_tandem_model"]
+__all__ = ["tandem_model", "poisson_tandem_model", "open_tandem_model"]
 
 #: Routing of the closed two-queue tandem: 1 -> 2 -> 1.
 TANDEM_ROUTING = np.array([[0.0, 1.0], [1.0, 0.0]])
@@ -31,7 +35,7 @@ def tandem_model(
     gamma2: float = 0.5,
     service_mean_1: float = 1.0,
     service_mean_2: float = 0.95,
-) -> ClosedNetwork:
+) -> Network:
     """Closed tandem whose first queue has autocorrelated MAP(2) service.
 
     Parameters
@@ -49,14 +53,14 @@ def tandem_model(
 
     Returns
     -------
-    ClosedNetwork
+    Network
         The two-station tandem ``q1 -> q2 -> q1``.
     """
     if scv == 1.0 and gamma2 == 0.0:
         service_1 = exponential(1.0 / service_mean_1)
     else:
         service_1 = fit_map2(service_mean_1, scv, gamma2)
-    return ClosedNetwork(
+    return Network(
         [
             queue("q1", service_1),
             queue("q2", exponential(1.0 / service_mean_2)),
@@ -70,7 +74,7 @@ def poisson_tandem_model(
     population: int,
     service_mean_1: float = 1.0,
     service_mean_2: float = 0.95,
-) -> ClosedNetwork:
+) -> Network:
     """Memoryless (product-form) tandem with the same demands as the bursty one.
 
     Exact MVA applies, so this scenario doubles as an oracle check for every
@@ -85,7 +89,7 @@ def poisson_tandem_model(
 
     Returns
     -------
-    ClosedNetwork
+    Network
         The two-station exponential tandem.
     """
     return tandem_model(
@@ -94,4 +98,53 @@ def poisson_tandem_model(
         gamma2=0.0,
         service_mean_1=service_mean_1,
         service_mean_2=service_mean_2,
+    )
+
+
+def open_tandem_model(
+    population: "int | None" = None,
+    arrival_mean: float = 1.0,
+    scv: float = 16.0,
+    gamma2: float = 0.5,
+    service_mean_1: float = 0.7,
+    service_mean_2: float = 0.6,
+) -> Network:
+    """Open tandem fed by a bursty MAP(2) arrival stream.
+
+    ``source -> q1 -> q2 -> sink`` with exponential servers: both queues
+    see the full external stream (visit ratio 1), so the station-wise QBD
+    decomposition's first queue is an *exact* MAP/M/1 and the model doubles
+    as an oracle for the open solver plumbing.
+
+    Parameters
+    ----------
+    population:
+        Ignored — open networks have no fixed population.  Accepted so the
+        scenario registry's uniform ``builder(population, **params)``
+        calling convention applies.
+    arrival_mean:
+        Mean interarrival time (``lambda = 1 / arrival_mean``).
+    scv, gamma2:
+        Marginal variability and geometric ACF decay of the arrival MAP
+        (``scv = 1, gamma2 = 0`` degenerates to Poisson arrivals).
+    service_mean_1, service_mean_2:
+        Mean service times; defaults give utilizations 0.7 and 0.6.
+
+    Returns
+    -------
+    Network
+        The open two-station tandem.
+    """
+    if scv == 1.0 and gamma2 == 0.0:
+        arrivals = exponential(1.0 / arrival_mean)
+    else:
+        arrivals = fit_map2(arrival_mean, scv, gamma2)
+    routing = np.array([[0.0, 1.0], [0.0, 0.0]])  # q2's deficit exits
+    return Network(
+        [
+            queue("q1", exponential(1.0 / service_mean_1)),
+            queue("q2", exponential(1.0 / service_mean_2)),
+        ],
+        routing,
+        OpenArrivals(arrivals, entry="q1"),
     )

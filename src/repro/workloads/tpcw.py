@@ -26,7 +26,8 @@ from typing import NamedTuple
 import numpy as np
 
 from repro.maps.builders import exponential
-from repro.network.model import ClosedNetwork
+from repro.network.model import Network
+from repro.network.population import Closed, Mixed, OpenArrivals
 from repro.network.stations import delay, queue
 from repro.sim.taps import FlowTap
 from repro.utils.errors import ValidationError
@@ -36,6 +37,7 @@ __all__ = [
     "TpcwParameters",
     "TpcwFlowTaps",
     "tpcw_model",
+    "mixed_tpcw_model",
     "tpcw_flow_taps",
     "CLIENT",
     "FRONT",
@@ -80,7 +82,7 @@ class TpcwParameters:
         )
 
 
-def tpcw_model(browsers: int, params: TpcwParameters | None = None) -> ClosedNetwork:
+def tpcw_model(browsers: int, params: TpcwParameters | None = None) -> Network:
     """Closed TPC-W model of Figure 2 with ``browsers`` emulated browsers."""
     p = params or TpcwParameters()
     front_service = (
@@ -95,7 +97,7 @@ def tpcw_model(browsers: int, params: TpcwParameters | None = None) -> ClosedNet
             [0.0, 1.0, 0.0],
         ]
     )
-    return ClosedNetwork(
+    return Network(
         [
             delay("clients", exponential(1.0 / p.think_time)),
             queue("front", front_service),
@@ -103,6 +105,64 @@ def tpcw_model(browsers: int, params: TpcwParameters | None = None) -> ClosedNet
         ],
         routing,
         browsers,
+    )
+
+
+def mixed_tpcw_model(
+    browsers: int,
+    think_time: float = 7.0,
+    front_mean: float = 0.018,
+    db_mean: float = 0.025,
+    p_db: float = 0.5,
+    burstiness: str = "extreme",
+    browse_rate: float = 5.0,
+    browse_p_db: float = 0.3,
+) -> Network:
+    """Mixed TPC-W: the closed browser chain plus an open *browse* class.
+
+    The closed chain is exactly :func:`tpcw_model` (emulated browsers
+    cycling clients -> front -> db).  On top, an open stream of anonymous
+    browse requests (Poisson at ``browse_rate``) enters at the front tier,
+    optionally touches the database, and leaves — the "open browse class"
+    of TPC-W's browsing mix, which never blocks on a think-time station.
+
+    Parameters
+    ----------
+    browsers:
+        Closed-chain population (registered emulated browsers).
+    think_time, front_mean, db_mean, p_db, burstiness:
+        As in :class:`TpcwParameters` (the closed chain).
+    browse_rate:
+        External arrival rate of anonymous browse requests.
+    browse_p_db:
+        Probability a browse request needs a database lookup before
+        leaving.
+
+    Returns
+    -------
+    Network
+        The validated mixed network (the open chain's offered loads must
+        satisfy ``rho_k < 1``; note this is necessary, not sufficient,
+        because closed jobs share the same servers).
+    """
+    p = TpcwParameters(
+        think_time=think_time, front_mean=front_mean, db_mean=db_mean,
+        p_db=p_db, burstiness=burstiness,
+    )
+    closed = tpcw_model(browsers, p)
+    open_routing = np.array([
+        [0.0, 0.0, 0.0],                 # clients: closed chain only
+        [0.0, 0.0, browse_p_db],         # front -> db, else exit
+        [0.0, 0.0, 0.0],                 # db -> exit
+    ])
+    return Network(
+        closed.stations,
+        closed.routing,
+        Mixed(
+            Closed(browsers),
+            OpenArrivals(exponential(browse_rate), entry="front"),
+        ),
+        open_routing=open_routing,
     )
 
 

@@ -1,0 +1,92 @@
+"""Deprecation-shim guarantees of the unified Network redesign.
+
+``ClosedNetwork`` must keep working as a thin alias: constructing one warns
+(once per process), yields a genuine ``Network``, and — critically —
+fingerprints *identically to the pre-redesign digest*, so cache keys stay
+stable and existing ``.repro-cache`` entries remain valid.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.maps.builders import exponential
+from repro.maps.fitting import fit_map2
+from repro.network import model as model_module
+from repro.network.model import ClosedNetwork, Network
+from repro.network.population import Closed
+from repro.network.stations import Station
+from repro.runtime.fingerprint import fingerprint_network, fingerprint_solve
+from repro.scenarios import get_scenario
+
+#: Digests recorded from the pre-redesign code (PR 3 tree) for fixed
+#: reference models.  If any of these change, every cache entry keyed by
+#: them silently goes stale — treat a failure here as a cache-format break.
+PRE_REDESIGN_DIGESTS = {
+    "tandem2": "2e08c6f3b3fc6dfd42eb96aad166976b2a4f85fb040966a2bbb5c546df0746eb",
+    "tpcw": "21c4d5223a7aa435a392706c9a30d9ae49e673570af1cb78b8d9ef277546ee24",
+    "fig5-case-study": "8c94b8f302cd9c2a5be4c3d6627cc528e9055be1cfac65f0edc51b8c5ab6e523",
+    "bursty-tandem": "4dd59215a79ed976272d44650bc0e18d89c3fe7392dd97280b298bf13987c388",
+}
+
+
+def _reference_closed(cls=ClosedNetwork):
+    stations = [
+        Station("a", exponential(2.0)),
+        Station("b", fit_map2(1.0, 16.0, 0.5)),
+    ]
+    P = np.array([[0.0, 1.0], [1.0, 0.0]])
+    return cls(stations, P, 7)
+
+
+class TestClosedNetworkShim:
+    def test_constructing_yields_a_network(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            net = _reference_closed()
+        assert isinstance(net, Network)
+        assert net.kind == "closed"
+        assert net.population == 7
+        assert isinstance(net.chain, Closed)
+
+    def test_warns_deprecation_once_per_process(self, monkeypatch):
+        monkeypatch.setattr(model_module, "_closed_network_warned", False)
+        with pytest.warns(DeprecationWarning, match="ClosedNetwork"):
+            _reference_closed()
+        # second construction stays silent
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            _reference_closed()
+
+    def test_fingerprint_matches_pre_redesign_digest(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            net = _reference_closed()
+        assert fingerprint_network(net) == PRE_REDESIGN_DIGESTS["tandem2"]
+
+    def test_shim_and_network_fingerprint_identically(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            legacy = _reference_closed()
+        modern = _reference_closed(cls=Network)
+        assert fingerprint_network(legacy) == fingerprint_network(modern)
+        opts = {"reference": 0}
+        assert fingerprint_solve(legacy, "exact", opts) == fingerprint_solve(
+            modern, "exact", opts
+        )
+
+    @pytest.mark.parametrize(
+        "name", ["tpcw", "fig5-case-study", "bursty-tandem"]
+    )
+    def test_catalog_digests_survive_the_redesign(self, name):
+        """Cache keys of catalog scenarios are byte-stable across the PR."""
+        assert get_scenario(name).fingerprint() == PRE_REDESIGN_DIGESTS[name]
+
+    def test_with_population_returns_modern_network(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            net = _reference_closed()
+        grown = net.with_population(20)
+        assert isinstance(grown, Network)
+        assert grown.population == 20

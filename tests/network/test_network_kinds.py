@@ -1,0 +1,173 @@
+"""Construction-time semantics of the unified Network (closed/open/mixed)."""
+
+import numpy as np
+import pytest
+
+from repro.maps.builders import exponential
+from repro.maps.fitting import fit_map2
+from repro.network.model import Network
+from repro.network.population import Closed, Mixed, OpenArrivals
+from repro.network.routing import open_visit_ratios, validate_open_routing
+from repro.network.stations import Station
+from repro.utils.errors import UnsupportedNetworkError, ValidationError
+
+
+def _stations(n=2, means=(0.5, 0.4)):
+    return [
+        Station(f"q{i+1}", exponential(1.0 / means[i])) for i in range(n)
+    ]
+
+
+TANDEM_OPEN = np.array([[0.0, 1.0], [0.0, 0.0]])  # q1 -> q2 -> sink
+TANDEM_CLOSED = np.array([[0.0, 1.0], [1.0, 0.0]])
+
+
+class TestClosedKind:
+    def test_int_population_is_closed_shorthand(self):
+        net = Network(_stations(), TANDEM_CLOSED, 5)
+        assert net.kind == "closed"
+        assert net.chain == Closed(5)
+        assert net.arrivals is None and net.entry is None
+
+    def test_substochastic_routing_rejected(self):
+        with pytest.raises(ValidationError, match="sum to 1"):
+            Network(_stations(), TANDEM_OPEN, 5)
+
+    def test_open_routing_kwarg_rejected(self):
+        with pytest.raises(ValidationError, match="open_routing"):
+            Network(_stations(), TANDEM_CLOSED, 5, open_routing=TANDEM_OPEN)
+
+
+class TestOpenKind:
+    def _net(self, lam=1.0, **kw):
+        return Network(
+            _stations(), TANDEM_OPEN,
+            OpenArrivals(exponential(lam), entry="q1"), **kw,
+        )
+
+    def test_basic_properties(self):
+        net = self._net()
+        assert net.kind == "open"
+        assert net.arrivals.rate == pytest.approx(1.0)
+        assert np.allclose(net.entry, [1.0, 0.0])
+        assert np.allclose(net.open_visits, [1.0, 1.0])
+        assert np.allclose(net.arrival_rates, [1.0, 1.0])
+        assert np.allclose(net.open_utilizations, [0.5, 0.4])
+
+    def test_population_raises_typed_error(self):
+        with pytest.raises(UnsupportedNetworkError, match="open"):
+            _ = self._net().population
+
+    def test_with_population_raises(self):
+        with pytest.raises(UnsupportedNetworkError):
+            self._net().with_population(3)
+
+    def test_unstable_chain_rejected_naming_station(self):
+        with pytest.raises(ValidationError, match="q1"):
+            self._net(lam=2.5)
+
+    def test_feedback_visits_exceed_one(self):
+        # q1 -> q2 -> (q1 w.p. 0.5 | sink w.p. 0.5): v = (2, 2)
+        P = np.array([[0.0, 1.0], [0.5, 0.0]])
+        v = open_visit_ratios(P, np.array([1.0, 0.0]))
+        assert np.allclose(v, [2.0, 2.0])
+
+    def test_trapped_subnetwork_rejected(self):
+        # q1 drains, but q2 self-loops forever: sink unreachable from it
+        P = np.array([[0.0, 0.5], [0.0, 1.0]])
+        with pytest.raises(ValidationError, match="sink is unreachable"):
+            validate_open_routing(P, np.array([1.0, 0.0]), 2)
+
+    def test_entry_forms_are_equivalent(self):
+        by_name = self._net()
+        by_index = Network(
+            _stations(), TANDEM_OPEN, OpenArrivals(exponential(1.0), entry=0)
+        )
+        by_np_index = Network(
+            _stations(), TANDEM_OPEN,
+            OpenArrivals(exponential(1.0), entry=np.int64(0)),
+        )
+        assert np.allclose(by_np_index.entry, by_name.entry)
+        by_map = Network(
+            _stations(), TANDEM_OPEN,
+            OpenArrivals(exponential(1.0), entry={"q1": 1.0}),
+        )
+        by_vec = Network(
+            _stations(), TANDEM_OPEN,
+            OpenArrivals(exponential(1.0), entry=[1.0, 0.0]),
+        )
+        for net in (by_index, by_map, by_vec):
+            assert np.allclose(net.entry, by_name.entry)
+
+    def test_delay_stations_never_saturate(self):
+        st = [
+            Station("think", exponential(0.1), kind="delay"),
+            Station("q", exponential(2.0)),
+        ]
+        P = np.array([[0.0, 1.0], [0.0, 0.0]])
+        net = Network(st, P, OpenArrivals(exponential(1.0), entry="think"))
+        assert net.open_utilizations[0] == 0.0
+
+
+class TestMixedKind:
+    def _net(self):
+        return Network(
+            _stations(), TANDEM_CLOSED,
+            Mixed(Closed(4), OpenArrivals(exponential(0.5), entry="q1")),
+            open_routing=np.array([[0.0, 0.5], [0.0, 0.0]]),
+        )
+
+    def test_basic_properties(self):
+        net = self._net()
+        assert net.kind == "mixed"
+        assert net.population == 4
+        assert np.allclose(net.open_visits, [1.0, 0.5])
+        assert np.allclose(net.arrival_rates, [0.5, 0.25])
+
+    def test_missing_open_routing_rejected(self):
+        with pytest.raises(ValidationError, match="open_routing"):
+            Network(
+                _stations(), TANDEM_CLOSED,
+                Mixed(Closed(4), OpenArrivals(exponential(0.5), entry="q1")),
+            )
+
+    def test_with_population_keeps_open_chain(self):
+        grown = self._net().with_population(9)
+        assert grown.kind == "mixed"
+        assert grown.population == 9
+        assert grown.arrivals.rate == pytest.approx(0.5)
+
+    def test_with_station_preserves_kind(self):
+        net = self._net()
+        swapped = net.with_station(1, Station("q2", fit_map2(0.4, 9.0, 0.3)))
+        assert swapped.kind == "mixed"
+        assert swapped.stations[1].phases == 2
+
+
+class TestDescriptorValidation:
+    def test_closed_rejects_nonpositive(self):
+        with pytest.raises(ValidationError):
+            Closed(0)
+
+    def test_closed_rejects_fractional_population(self):
+        """2.7 jobs is a different model — never silently truncate."""
+        with pytest.raises(ValidationError, match="integer"):
+            Closed(2.7)
+        assert Closed(3.0).n == 3  # exactly-integral floats are fine
+        assert Closed(np.int64(4)).n == 4
+
+    def test_arrival_rates_on_closed_raises_typed_error(self):
+        net = Network(_stations(), TANDEM_CLOSED, 5)
+        with pytest.raises(UnsupportedNetworkError):
+            _ = net.arrival_rates
+
+    def test_open_arrivals_requires_map(self):
+        with pytest.raises(ValidationError, match="MAP"):
+            OpenArrivals(map=3.0)
+
+    def test_entry_must_sum_to_one(self):
+        with pytest.raises(ValidationError, match="sum to 1"):
+            Network(
+                _stations(), TANDEM_OPEN,
+                OpenArrivals(exponential(1.0), entry=[0.5, 0.0]),
+            )

@@ -1,0 +1,183 @@
+"""Declarative specs for open and mixed networks (and their round-trips)."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.fingerprint import fingerprint_network
+from repro.scenarios import (
+    dump_spec,
+    get_scenario,
+    load_spec,
+    network_from_spec,
+    network_to_spec,
+)
+from repro.utils.errors import ValidationError
+
+OPEN_YAML = """
+kind: open
+arrivals: {dist: map2, mean: 1.0, scv: 16.0, gamma2: 0.5}
+stations:
+  - {name: q1, service: {dist: exponential, mean: 0.7}}
+  - {name: q2, service: {dist: exponential, mean: 0.6}}
+routing:
+  source: {q1: 1.0}
+  q1: {q2: 1.0}
+  q2: {sink: 1.0}
+"""
+
+MIXED_SPEC = {
+    "kind": "mixed",
+    "population": 20,
+    "arrivals": {"dist": "exponential", "rate": 0.4},
+    "stations": [
+        {"name": "clients", "kind": "delay",
+         "service": {"dist": "exponential", "mean": 7.0}},
+        {"name": "front",
+         "service": {"dist": "map2", "mean": 0.018, "scv": 16.0,
+                     "gamma2": 0.8}},
+        {"name": "db", "service": {"dist": "exponential", "mean": 0.025}},
+    ],
+    "routing": {
+        "clients": {"front": 1.0},
+        "front": {"clients": 0.5, "db": 0.5},
+        "db": {"front": 1.0},
+    },
+    "open_routing": {
+        "source": {"front": 1.0},
+        "front": {"db": 0.3, "sink": 0.7},
+        "db": {"sink": 1.0},
+    },
+}
+
+
+class TestOpenSpecs:
+    def test_yaml_compiles_to_open_network(self):
+        net = network_from_spec(load_spec(OPEN_YAML))
+        assert net.kind == "open"
+        assert np.allclose(net.entry, [1.0, 0.0])
+        assert np.allclose(net.open_utilizations, [0.7, 0.6])
+
+    def test_kind_inferred_from_keys(self):
+        spec = dict(load_spec(OPEN_YAML))
+        del spec["kind"]
+        assert network_from_spec(spec).kind == "open"
+
+    def test_round_trip_is_fingerprint_identical(self):
+        net = network_from_spec(load_spec(OPEN_YAML))
+        rebuilt = network_from_spec(network_to_spec(net, name="t"))
+        assert fingerprint_network(rebuilt) == fingerprint_network(net)
+
+    def test_yaml_dump_load_round_trip(self):
+        net = network_from_spec(load_spec(OPEN_YAML))
+        text = dump_spec(network_to_spec(net, name="t"))
+        rebuilt = network_from_spec(load_spec(text))
+        assert fingerprint_network(rebuilt) == fingerprint_network(net)
+
+    def test_row_must_sum_to_one_including_sink(self):
+        spec = dict(load_spec(OPEN_YAML))
+        spec["routing"] = {
+            "source": {"q1": 1.0}, "q1": {"q2": 0.9}, "q2": {"sink": 1.0},
+        }
+        with pytest.raises(ValidationError, match="including the 'sink'"):
+            network_from_spec(spec)
+
+    def test_open_with_population_rejected(self):
+        spec = dict(load_spec(OPEN_YAML))
+        spec["population"] = 5
+        with pytest.raises(ValidationError, match="mixed"):
+            network_from_spec(spec)
+
+    def test_reserved_station_names_rejected(self):
+        spec = dict(load_spec(OPEN_YAML))
+        spec["stations"] = spec["stations"] + [
+            {"name": "sink", "service": {"dist": "exponential", "mean": 1.0}}
+        ]
+        with pytest.raises(ValidationError, match="reserved"):
+            network_from_spec(spec)
+
+    def test_missing_entry_rejected(self):
+        spec = dict(load_spec(OPEN_YAML))
+        spec["routing"] = {"q1": {"q2": 1.0}, "q2": {"sink": 1.0}}
+        with pytest.raises(ValidationError, match="entry"):
+            network_from_spec(spec)
+
+    def test_absent_row_for_reachable_station_rejected(self):
+        """No declared row must never compile to a silent 100% exit."""
+        spec = dict(load_spec(OPEN_YAML))
+        spec["routing"] = {"source": {"q1": 1.0}, "q1": {"q2": 1.0}}
+        with pytest.raises(ValidationError, match="declares no routing row"):
+            network_from_spec(spec)
+
+    def test_conflicting_entry_declarations_rejected(self):
+        """A source row AND an entry key is ambiguous, never silent override."""
+        spec = dict(load_spec(OPEN_YAML))
+        spec["entry"] = {"q2": 1.0}
+        with pytest.raises(ValidationError, match="once"):
+            network_from_spec(spec)
+
+    def test_absent_row_rejected_via_entry_key_too(self):
+        """The entry-key form must validate exactly like a source row."""
+        spec = dict(load_spec(OPEN_YAML))
+        spec["entry"] = {"q1": 1.0}
+        spec["routing"] = {"q1": {"q2": 1.0}}
+        with pytest.raises(ValidationError, match="declares no routing row"):
+            network_from_spec(spec)
+
+
+class TestMixedSpecs:
+    def test_compiles(self):
+        net = network_from_spec(MIXED_SPEC)
+        assert net.kind == "mixed"
+        assert net.population == 20
+        assert net.arrivals.rate == pytest.approx(0.4)
+
+    def test_round_trip_is_fingerprint_identical(self):
+        net = network_from_spec(MIXED_SPEC)
+        rebuilt = network_from_spec(network_to_spec(net))
+        assert fingerprint_network(rebuilt) == fingerprint_network(net)
+
+    def test_mixed_without_population_rejected(self):
+        spec = {k: v for k, v in MIXED_SPEC.items() if k != "population"}
+        with pytest.raises(ValidationError, match="population"):
+            network_from_spec(spec)
+
+
+class TestClosedSpecsUnchanged:
+    def test_rendered_closed_spec_has_no_new_keys(self):
+        net = get_scenario("bursty-tandem").network(population=6)
+        spec = network_to_spec(net)
+        assert "kind" not in spec
+        assert "arrivals" not in spec
+        assert "open_routing" not in spec
+
+    def test_closed_spec_with_arrivals_rejected(self):
+        net = get_scenario("poisson-tandem").network(population=4)
+        spec = network_to_spec(net)
+        spec["kind"] = "closed"
+        spec["arrivals"] = {"dist": "exponential", "rate": 1.0}
+        with pytest.raises(ValidationError, match="arrivals"):
+            network_from_spec(spec)
+
+
+class TestCatalogOpenScenarios:
+    """The three new catalog entries are well-formed and round-trip."""
+
+    @pytest.mark.parametrize(
+        "name,kind",
+        [
+            ("open-bursty-tandem", "open"),
+            ("open-web-tier", "open"),
+            ("mixed-tpcw", "mixed"),
+        ],
+    )
+    def test_kind_and_round_trip(self, name, kind):
+        sc = get_scenario(name)
+        net = sc.network()
+        assert net.kind == kind
+        rebuilt = network_from_spec(sc.spec())
+        assert fingerprint_network(rebuilt) == fingerprint_network(net)
+
+    def test_open_scenarios_are_stable_by_construction(self):
+        for name in ("open-bursty-tandem", "open-web-tier", "mixed-tpcw"):
+            net = get_scenario(name).network()
+            assert float(np.max(net.open_utilizations)) < 1.0

@@ -35,6 +35,17 @@ class TestList:
         assert "tpcw " not in out
 
 
+class TestSweepKindGuards:
+    def test_open_scenario_sweep_rejected_cleanly(self):
+        with pytest.raises(SystemExit, match="no population to"):
+            main(["sweep", "open-bursty-tandem"])
+
+    def test_mixed_scenario_closed_only_method_rejected(self):
+        """The registry's typed error surfaces as a clean exit, no traceback."""
+        with pytest.raises(SystemExit, match="'sim' method"):
+            main(["sweep", "mixed-tpcw", "--method", "lp", "--populations", "8"])
+
+
 class TestShow:
     def test_show_prints_card(self, capsys):
         assert main(["show", "fig5-case-study"]) == 0

@@ -45,7 +45,8 @@ class TestCatalog:
     def test_builds_and_validates(self, name):
         sc = get_scenario(name)
         net = sc.network(population=FAST_N)
-        assert net.population == FAST_N
+        if net.kind != "open":
+            assert net.population == FAST_N
         assert net.n_stations >= 2
         assert all(st.mean_service_time > 0 for st in net.stations)
 
@@ -64,15 +65,32 @@ class TestCatalog:
     @pytest.mark.parametrize("name", ALL_NAMES)
     def test_solves_with_a_fast_method(self, name, solver_registry):
         net = get_scenario(name).network(population=FAST_N)
-        method = "mva" if net.is_product_form else "aba"
+        if net.kind == "open":
+            method = "qbd"
+        elif net.kind == "mixed":
+            res = solver_registry.solve(
+                net, "sim", rng=7, horizon_events=20_000, warmup_events=2_000
+            )
+            assert res.system_throughput.midpoint > 0
+            return
+        else:
+            method = "mva" if net.is_product_form else "aba"
         res = solver_registry.solve(net, method)
         x = res.system_throughput
         assert x is not None and 0 < x.lower <= x.upper
 
     @pytest.mark.parametrize("name", ALL_NAMES)
     def test_mva_facade_covers_every_scenario(self, name, solver_registry):
-        """`solve <name> --method mva` works for each registered scenario."""
+        """`solve <name> --method mva` works for each closed scenario;
+        open/mixed ones raise the typed dispatch error instead of silently
+        mis-solving."""
+        from repro.utils.errors import UnsupportedNetworkError
+
         net = get_scenario(name).network(population=FAST_N)
+        if net.kind != "closed":
+            with pytest.raises(UnsupportedNetworkError):
+                solver_registry.solve(net, "mva")
+            return
         res = solver_registry.solve(net, "mva")
         assert res.system_throughput_point() > 0
         assert res.extra["product_form"] == net.is_product_form
@@ -83,7 +101,8 @@ class TestCatalog:
             assert sc.description
             assert sc.paper_ref
             assert sc.tags
-            assert sc.populations
+            # open scenarios have no population sweep by definition
+            assert sc.populations or sc.network().kind == "open"
 
 
 class TestScenarioParams:

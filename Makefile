@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: test lint docs docs-serve bench bench-large smoke-open clean
+.PHONY: test lint docs docs-serve bench bench-large bench-transient smoke-open smoke-transient clean
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -28,11 +28,24 @@ bench:
 bench-large:
 	REPRO_BENCH_PRESET=large $(PYTHON) -m pytest benchmarks/test_bench_lp_scaling.py -q
 
+# Transient-engine benchmark with its own JSON reporter: gates the >= 5x
+# multi-time-point reuse over naive per-t uniformization (deterministic
+# matvec counts, so CI enforces it) and regenerates the tracked
+# BENCH_transient.json baseline in the large preset.
+bench-transient:
+	REPRO_BENCH_PRESET=large $(PYTHON) -m pytest benchmarks/test_bench_transient.py -q
+
 # End-to-end smoke of an open-network scenario through the registry
 # cache: render the spec, lint it, solve via qbd twice (the second solve
 # must replay from the disk cache), and cross-check against the simulator.
 smoke-open:
 	$(PYTHON) benchmarks/smoke_open_network.py
+
+# End-to-end smoke of the transient subsystem: catalog scenario ->
+# transient solve -> disk-cache replay -> t->inf vs exact -> analytic
+# trajectory vs ensemble-averaged simulation (<= 5%).
+smoke-transient:
+	$(PYTHON) benchmarks/smoke_transient.py
 
 clean:
 	rm -rf site .repro-cache .pytest_cache

@@ -37,22 +37,26 @@ def bench_preset() -> str:
     return preset
 
 
-def default_report_path() -> Path:
-    """Output path for the active preset (``REPRO_BENCH_JSON`` overrides).
+def default_report_path(
+    benchmark: str = "lp_scaling", env_var: str = "REPRO_BENCH_JSON"
+) -> Path:
+    """Output path for the active preset (``env_var`` overrides).
 
     Only the large preset writes the *tracked* baseline
-    ``BENCH_lp_scaling.json``; the quick preset defaults to the untracked
-    ``BENCH_lp_scaling.quick.json`` so a local ``make bench`` can never
+    ``BENCH_<benchmark>.json``; the quick preset defaults to the untracked
+    ``BENCH_<benchmark>.quick.json`` so a local ``make bench`` can never
     clobber the committed large-preset measurement.  The CI bench job pins
-    ``REPRO_BENCH_JSON=BENCH_lp_scaling.json`` explicitly for its artifact.
+    the env var (``REPRO_BENCH_JSON`` for the LP benchmark,
+    ``REPRO_BENCH_TRANSIENT_JSON`` for the transient one) explicitly for
+    its artifacts.
     """
-    env = os.environ.get("REPRO_BENCH_JSON")
+    env = os.environ.get(env_var)
     if env:
         return Path(env)
     name = (
-        "BENCH_lp_scaling.json"
+        f"BENCH_{benchmark}.json"
         if bench_preset() == "large"
-        else "BENCH_lp_scaling.quick.json"
+        else f"BENCH_{benchmark}.quick.json"
     )
     return Path(__file__).resolve().parent.parent / name
 
@@ -60,8 +64,15 @@ def default_report_path() -> Path:
 class PerfReporter:
     """Collects benchmark entries and writes the JSON artifact atomically."""
 
-    def __init__(self, path: "Path | str | None" = None) -> None:
-        self.path = Path(path) if path is not None else default_report_path()
+    def __init__(
+        self,
+        path: "Path | str | None" = None,
+        benchmark: str = "lp_scaling",
+    ) -> None:
+        self.benchmark = benchmark
+        self.path = (
+            Path(path) if path is not None else default_report_path(benchmark)
+        )
         self.entries: list[dict] = []
 
     def record(self, case: str, **fields) -> dict:
@@ -89,7 +100,7 @@ class PerfReporter:
         """The full JSON document."""
         return {
             "schema": SCHEMA_VERSION,
-            "benchmark": "lp_scaling",
+            "benchmark": self.benchmark,
             "preset": bench_preset(),
             "python": platform.python_version(),
             "entries": list(self.entries),

@@ -30,18 +30,43 @@ def once(benchmark):
     return _run
 
 
-@pytest.fixture(scope="session")
-def perf_report():
-    """Session-wide JSON perf reporter; written (and verified) at teardown.
+def _reporter_session(benchmark: str, env_var: str):
+    """One opt-in reporter lifecycle, shared by every perf-report fixture.
 
-    The artifact is only written on explicit opt-in — ``REPRO_BENCH_PRESET``
-    or ``REPRO_BENCH_JSON`` set, as ``make bench``/``bench-large`` and the
-    CI bench job do.  A plain ``pytest`` run (which collects benchmarks via
-    the tier-1 testpaths) must not overwrite the committed large-preset
+    The artifact is only written at teardown on explicit opt-in —
+    ``REPRO_BENCH_PRESET`` or the benchmark's own path env var set, as
+    ``make bench``/``bench-large``/``bench-transient`` and the CI bench
+    job do.  A plain ``pytest`` run (which collects benchmarks via the
+    tier-1 testpaths) must not overwrite a committed large-preset
     baseline with local quick-preset timings.
     """
-    reporter = PerfReporter()
+    from bench_reporting import default_report_path
+
+    reporter = PerfReporter(
+        path=default_report_path(benchmark, env_var), benchmark=benchmark
+    )
     yield reporter
-    opted_in = "REPRO_BENCH_PRESET" in os.environ or "REPRO_BENCH_JSON" in os.environ
+    opted_in = "REPRO_BENCH_PRESET" in os.environ or env_var in os.environ
     if reporter.entries and opted_in:
         reporter.write()
+
+
+@pytest.fixture(scope="session")
+def perf_report():
+    """Session-wide JSON perf reporter for the LP benchmark.
+
+    Writes ``BENCH_lp_scaling.json`` (override with ``REPRO_BENCH_JSON``)
+    under the opt-in rule of :func:`_reporter_session`.
+    """
+    yield from _reporter_session("lp_scaling", "REPRO_BENCH_JSON")
+
+
+@pytest.fixture(scope="session")
+def transient_perf_report():
+    """The transient subsystem's twin of ``perf_report``.
+
+    Writes ``BENCH_transient.json`` (override with
+    ``REPRO_BENCH_TRANSIENT_JSON``), so the multi-time-point reuse
+    trajectory is a reviewable artifact alongside the LP one.
+    """
+    yield from _reporter_session("transient", "REPRO_BENCH_TRANSIENT_JSON")

@@ -1,0 +1,135 @@
+#!/usr/bin/env python
+"""End-to-end smoke of the transient subsystem (CI's ``smoke-transient``).
+
+Exercises the whole ISSUE-5 pipeline in one shot, on both new catalog
+scenarios:
+
+1. ``drain-bursty-tandem`` solves via ``--method transient`` semantics
+   (registry, ``loaded:q1`` start) twice — the second solve must replay
+   from the *disk* cache tier and reconstruct a TransientResult;
+2. its ``t -> inf`` limits must match the exact steady-state solver;
+3. its E[N_k(t)] trajectory must agree with ensemble-averaged, seeded
+   simulation within 5% of the population scale;
+4. ``burst-response-tpcw`` solves with the ``burst:front`` conditioning
+   and must relax monotonically toward stationarity.
+
+Exit status 0 means the transient path works end to end.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+if SRC.is_dir() and str(SRC) not in sys.path:  # run from a source checkout
+    sys.path.insert(0, str(SRC))
+
+DRAIN_SCENARIO = "drain-bursty-tandem"
+BURST_SCENARIO = "burst-response-tpcw"
+GAP_LIMIT = 0.05
+REPLICATIONS = 1500
+
+
+def main() -> int:
+    """Run the smoke pipeline; returns a process exit code."""
+    tmp = tempfile.mkdtemp(prefix="repro-smoke-transient-")
+    os.environ["REPRO_CACHE_DIR"] = os.path.join(tmp, "cache")
+
+    from repro.runtime import SolverRegistry
+    from repro.runtime.cache import ResultCache
+    from repro.scenarios import get_scenario
+    from repro.transient import (
+        TransientResult,
+        cross_check_gap,
+        simulated_trajectories,
+    )
+
+    # 1. Drain study: solve, then replay through a fresh registry so the
+    # hit must come from the on-disk tier (JSON round-trip of the
+    # trajectory block included).
+    net = get_scenario(DRAIN_SCENARIO).network(population=8)
+    times = tuple(float(t) for t in np.linspace(0.0, 60.0, 13))
+    registry = SolverRegistry(cache=ResultCache())
+    first = registry.solve(net, "transient", times=times, pi0="loaded:q1")
+    replay = SolverRegistry(cache=ResultCache()).solve(
+        net, "transient", times=times, pi0="loaded:q1"
+    )
+    if not (replay.from_cache and isinstance(replay, TransientResult)):
+        print("FAIL: transient solve did not replay from the disk cache "
+              "as a TransientResult", file=sys.stderr)
+        return 1
+    if replay.to_dict() != first.to_dict():
+        print("FAIL: disk replay does not round-trip the trajectories",
+              file=sys.stderr)
+        return 1
+
+    # 2. t -> inf limits vs the exact steady-state solver.
+    exact = registry.solve(net, "exact")
+    for k, name in enumerate(first.station_names):
+        a = first.queue_length_stationary(k)
+        b = exact.queue_length_point(k)
+        if abs(a - b) > 1e-8:
+            print(f"FAIL: {name} stationary limit {a} != exact {b}",
+                  file=sys.stderr)
+            return 1
+
+    # 3. Trajectory vs seeded ensemble-averaged simulation (<= 5%).
+    sim = simulated_trajectories(
+        net, np.asarray(times), pi0="loaded:q1",
+        replications=REPLICATIONS, rng=2026,
+    )
+    analytic = np.column_stack(
+        [first.queue_length_trajectory(k) for k in range(net.n_stations)]
+    )
+    gap = cross_check_gap(analytic, sim.queue_length)
+    drain = first.time_to_drain(0)
+    print(
+        f"  {DRAIN_SCENARIO}: sim gap {100 * gap:.2f}% over "
+        f"{len(times)} points x {net.n_stations} stations "
+        f"({REPLICATIONS} replications); time-to-drain(q1) = {drain:.2f}"
+    )
+    if gap > GAP_LIMIT:
+        print(f"FAIL: analytic/sim trajectory gap {gap:.3f} > "
+              f"{GAP_LIMIT}", file=sys.stderr)
+        return 1
+
+    # 4. Burst response: conditioning must load the front tier above its
+    # stationary mean and relax back toward it along the grid.
+    tpcw = get_scenario(BURST_SCENARIO).network(population=20)
+    burst = registry.solve(
+        tpcw, "transient",
+        times=tuple(float(t) for t in np.linspace(0.0, 120.0, 13)),
+        pi0="burst:front",
+    )
+    front = list(burst.station_names).index("front")
+    q_front = burst.queue_length_trajectory(front)
+    q_inf = burst.queue_length_stationary(front)
+    tv = burst.distance_array
+    if not (q_front[0] > q_inf and tv[0] > tv[-1] and
+            abs(q_front[-1] - q_inf) < 0.1 * max(q_inf, 0.1)):
+        print(
+            f"FAIL: burst response did not relax (E[N] {q_front[0]:.3f} -> "
+            f"{q_front[-1]:.3f}, stationary {q_inf:.3f}, TV {tv[0]:.3f} -> "
+            f"{tv[-1]:.3f})",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"  {BURST_SCENARIO}: front E[N] {q_front[0]:.3f} -> "
+        f"{q_front[-1]:.3f} (stationary {q_inf:.3f}), "
+        f"warm-up {burst.warmup_time():.1f}s"
+    )
+
+    stats = registry.cache_stats()
+    print(f"smoke OK: transient drain + burst-response end to end; "
+          f"cache stats {stats}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -161,6 +161,19 @@ class MAP:
         """Fundamental (long-run event) rate ``lambda``."""
         return _moments.fundamental_rate(self._D0, self._D1)
 
+    @cached_property
+    def phase_event_rates(self) -> np.ndarray:
+        """Conditional event intensity per phase, ``D1 @ 1``.
+
+        Entry ``h`` is the instantaneous event rate while the phase process
+        sits in ``h`` — the quantity that identifies a MAP's "bursty" phase
+        (high-rate for arrival processes, low-rate for service processes;
+        see :func:`repro.workloads.bursty.bursty_phase`).
+        """
+        rates = self._D1.sum(axis=1)
+        rates.setflags(write=False)
+        return rates
+
     # ------------------------------------------------------------------ #
     # interarrival-time characteristics
     # ------------------------------------------------------------------ #

@@ -1,12 +1,21 @@
-"""Markov-chain substrate: state spaces, CTMC/DTMC solvers, uniformization."""
+"""Markov-chain substrate: state spaces, CTMC/DTMC solvers, uniformization.
+
+The multi-time-point transient engine built on top of
+:class:`~repro.markov.uniformization.UniformizedOperator` lives in
+:mod:`repro.transient.engine`.
+"""
 
 from repro.markov.statespace import CompositionSpace
 from repro.markov.ctmc import steady_state_ctmc
 from repro.markov.dtmc import steady_state_dtmc
-from repro.markov.uniformization import transient_distribution
+from repro.markov.uniformization import (
+    UniformizedOperator,
+    transient_distribution,
+)
 
 __all__ = [
     "CompositionSpace",
+    "UniformizedOperator",
     "steady_state_ctmc",
     "steady_state_dtmc",
     "transient_distribution",

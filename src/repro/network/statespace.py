@@ -150,6 +150,33 @@ class NetworkStateSpace:
         comp_idx, phase_code = divmod(int(state_idx), self.n_phase)
         return self.comp.states[comp_idx].copy(), self.phase_digits[phase_code].copy()
 
+    def encode(self, populations, phases) -> int:
+        """Flat state index of explicit ``(populations, phases)`` vectors.
+
+        The inverse of :meth:`decode`; transient initial-state
+        construction (:mod:`repro.transient.initial`) uses it to locate
+        the state block of a "place ``N`` jobs *here*" start.
+        """
+        pops = np.asarray(populations, dtype=np.int64)
+        digs = np.asarray(phases, dtype=np.int64)
+        M = len(self.phase_dims)
+        if pops.shape != (M,) or digs.shape != (M,):
+            raise ValueError(
+                f"populations and phases must each have {M} entries, got "
+                f"{pops.shape} and {digs.shape}"
+            )
+        if pops.sum() != self.comp.total or (pops < 0).any():
+            raise ValueError(
+                f"populations must be a composition of {self.comp.total}"
+            )
+        if (digs < 0).any() or (digs >= self.phase_dims).any():
+            raise ValueError(
+                f"phases {digs.tolist()} out of range for orders "
+                f"{self.phase_dims.tolist()}"
+            )
+        phase_code = int((digs * self.phase_strides).sum())
+        return int(self.comp.rank(pops)) * self.n_phase + phase_code
+
     def __len__(self) -> int:
         return self.size
 

@@ -3,9 +3,11 @@
 The runtime layer makes ``solve(model, method)`` a first-class operation:
 
 * :class:`~repro.runtime.registry.SolverRegistry` — one facade over every
-  analysis (LP bounds, exact CTMC, simulation, QBD, MVA/ABA/BJB/
-  decomposition), returning a uniform
-  :class:`~repro.runtime.registry.SolveResult`;
+  analysis (LP bounds, exact CTMC, simulation, QBD, transient
+  uniformization, MVA/ABA/BJB/decomposition), returning a uniform
+  :class:`~repro.runtime.registry.SolveResult` (the ``transient`` method
+  returns the trajectory-carrying
+  :class:`~repro.transient.result.TransientResult` subclass);
 * :mod:`~repro.runtime.fingerprint` — content-addressed hashing of model +
   solver options (the cache key);
 * :class:`~repro.runtime.cache.ResultCache` — two-tier memory/disk cache

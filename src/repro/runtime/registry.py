@@ -569,7 +569,9 @@ class SolverRegistry:
 
     def __init__(self, cache: ResultCache | None = None) -> None:
         self.cache = cache
-        self._adapters: dict[str, tuple[Callable, bool, tuple[str, ...]]] = {}
+        self._adapters: dict[
+            str, tuple[Callable, bool, tuple[str, ...], type]
+        ] = {}
         for name, fn, stochastic in (
             ("lp", _solve_lp, False),
             ("exact", _solve_exact, False),
@@ -588,6 +590,13 @@ class SolverRegistry:
                 # replay could not re-record them, so such calls always run
                 uncacheable_opts=("taps",) if name == "sim" else (),
             )
+        # Imported here, not at module top: TransientResult subclasses
+        # SolveResult, so repro.transient can only load once this module
+        # has finished initializing.
+        from repro.transient.result import TransientResult
+        from repro.transient.solver import solve_transient
+
+        self.register("transient", solve_transient, result_cls=TransientResult)
 
     def register(
         self,
@@ -595,6 +604,7 @@ class SolverRegistry:
         adapter: Callable,
         stochastic: bool = False,
         uncacheable_opts: tuple[str, ...] = (),
+        result_cls: type = SolveResult,
     ) -> None:
         """Add (or replace) a solver adapter.
 
@@ -602,8 +612,18 @@ class SolverRegistry:
         ``rng`` seed — an unseeded run must stay a fresh random draw.
         ``uncacheable_opts`` names side-effecting options (e.g. the
         simulator's ``taps``) that force a fresh computation when set.
+        ``result_cls`` is the :class:`SolveResult` (sub)class cache hits
+        are replayed through — adapters returning enriched results (e.g.
+        the transient solver's trajectory-carrying
+        :class:`~repro.transient.result.TransientResult`) register theirs
+        so a replay reconstructs the same type.
         """
-        self._adapters[name] = (adapter, stochastic, tuple(uncacheable_opts))
+        self._adapters[name] = (
+            adapter,
+            stochastic,
+            tuple(uncacheable_opts),
+            result_cls,
+        )
 
     @property
     def methods(self) -> tuple[str, ...]:
@@ -628,7 +648,7 @@ class SolverRegistry:
     ) -> SolveResult:
         """Solve ``network`` with the named method, serving from cache if hit."""
         try:
-            adapter, stochastic, uncacheable = self._adapters[method]
+            adapter, stochastic, uncacheable, result_cls = self._adapters[method]
         except KeyError:
             raise KeyError(
                 f"unknown solve method {method!r}; registered: "
@@ -651,7 +671,7 @@ class SolverRegistry:
         if use_cache and key is not None:
             payload = self.cache.get(key)
             if payload is not None:
-                return SolveResult.from_dict(payload, from_cache=True)
+                return result_cls.from_dict(payload, from_cache=True)
 
         t0 = time.perf_counter()
         result = adapter(network, **opts)

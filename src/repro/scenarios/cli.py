@@ -13,7 +13,9 @@ Subcommands
     Lint a YAML spec (path or inline) and report per-station offered
     utilizations / stability without solving.
 ``solve NAME``
-    Solve one population through the cached solver registry.
+    Solve one population through the cached solver registry.  With
+    ``--method transient`` the extra ``--times``/``--pi0`` options select
+    the grid and the initial state, and the trajectory is printed.
 ``sweep NAME``
     Population sweep through :class:`~repro.runtime.sweep.SweepRunner`.
 
@@ -157,27 +159,96 @@ def _cmd_render(args: argparse.Namespace) -> int:
     return 0
 
 
+def _validate_report(net, name: str) -> dict:
+    """Machine-readable lint report: the JSON twin of the text tables.
+
+    Stations carry their kind/phase/mean/demand facts plus, for open
+    chains, the per-station ``lambda_k``/``rho_k`` traffic solution and a
+    stability verdict — everything CI smoke scripts used to scrape out of
+    the formatted tables.
+    """
+    kind = net.kind
+    report: dict[str, Any] = {"valid": True, "name": name, "kind": kind}
+    stations: list[dict[str, Any]] = []
+    demands = net.service_demands
+    if kind != "open":
+        report["population"] = net.population
+    if kind != "closed":
+        report["arrival_rate"] = float(net.arrivals.rate)
+        rho = net.open_utilizations
+        lam = net.arrival_rates
+    queue_demands = [
+        float(demands[k]) for k, st in enumerate(net.stations)
+        if st.kind != "delay"
+    ]
+    d_max = max(queue_demands) if queue_demands else float("nan")
+    for k, st in enumerate(net.stations):
+        row: dict[str, Any] = {
+            "name": st.name,
+            "kind": st.kind,
+            "phases": st.phases,
+            "mean_service_time": float(st.mean_service_time),
+            "demand": float(demands[k]),
+        }
+        if kind == "closed":
+            row["bottleneck"] = (
+                st.kind != "delay" and float(demands[k]) == d_max
+            )
+        else:
+            r = float(rho[k])
+            row["lambda_k"] = float(lam[k])
+            row["rho_k"] = r
+            row["stability"] = (
+                "-" if st.kind == "delay"
+                else "near-saturation" if r > 0.95
+                else "stable"
+            )
+        stations.append(row)
+    report["stations"] = stations
+    return report
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
     """``validate``: lint a spec and report stability without solving.
 
     Exit status 0 means the spec compiles to a valid (and, for open
     chains, stable) network; 1 means it does not, with the validation
-    error printed on stderr.
+    error printed on stderr (or, under ``--json``, a machine-readable
+    ``{"valid": false, ...}`` document on stdout).
     """
+    import json
+
     from repro.utils.errors import ReproError
 
     try:
         spec = load_spec(args.spec)
         net = network_from_spec(spec)
     except ReproError as exc:
-        print(f"INVALID: {exc}", file=sys.stderr)
+        if args.json:
+            print(json.dumps(
+                {"valid": False, "error": str(exc),
+                 "error_type": type(exc).__name__},
+                indent=2,
+            ))
+        else:
+            print(f"INVALID: {exc}", file=sys.stderr)
         return 1
     except Exception as exc:  # noqa: BLE001 - lint contract: report, exit 1
         # YAML syntax errors, unreadable files, and anything else that
         # stops the spec from compiling is a lint failure, not a crash.
-        print(f"INVALID: {type(exc).__name__}: {exc}", file=sys.stderr)
+        if args.json:
+            print(json.dumps(
+                {"valid": False, "error": str(exc),
+                 "error_type": type(exc).__name__},
+                indent=2,
+            ))
+        else:
+            print(f"INVALID: {type(exc).__name__}: {exc}", file=sys.stderr)
         return 1
     name = spec.get("name", args.spec if "\n" not in args.spec else "(inline)")
+    if args.json:
+        print(json.dumps(_validate_report(net, name), indent=2))
+        return 0
     kind = net.kind
     rows = []
     if kind == "closed":
@@ -234,13 +305,75 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_times(text: str) -> tuple[float, ...]:
+    """Parse ``--times``: ``a,b,c`` floats or ``start:stop:num`` linspace."""
+    import numpy as np
+
+    text = text.strip()
+    try:
+        if ":" in text:
+            start, stop, num = text.split(":")
+            return tuple(
+                float(t)
+                for t in np.linspace(float(start), float(stop), int(num))
+            )
+        return tuple(float(tok) for tok in text.split(",") if tok)
+    except ValueError:
+        raise SystemExit(
+            f"--times expects 't1,t2,...' or 'start:stop:num', got {text!r}"
+        ) from None
+
+
+def _print_trajectory(res) -> None:
+    """Render a TransientResult's trajectory as a table plus summaries."""
+    rows = []
+    for i, t in enumerate(res.times):
+        rows.append(
+            [round(t, 6)]
+            + [round(row[i], 4) for row in res.queue_length_t]
+            + [round(res.distance_tv[i], 4)]
+        )
+    print(format_table(
+        ["t"] + [f"E[N:{name}]" for name in res.station_names] + ["TV"],
+        rows,
+        title=f"transient trajectory, pi0={res.extra.get('pi0')!r}",
+    ))
+    inf = res.extra.get("queue_length_inf")
+    if inf:
+        print(
+            "stationary E[N]: "
+            + ", ".join(
+                f"{name}={v:.4f}" for name, v in zip(res.station_names, inf)
+            )
+        )
+    warm = res.warmup_time()
+    drains = [
+        f"{name}={res.time_to_drain(k):.4g}"
+        for k, name in enumerate(res.station_names)
+    ]
+    print(f"time-to-drain (5% relaxation): {', '.join(drains)}")
+    print(f"warm-up (TV <= 0.01): {warm:.4g}")
+
+
 def _cmd_solve(args: argparse.Namespace) -> int:
     """``solve``: one cached solve, metrics printed as a table."""
     from repro.runtime import get_registry
 
     net, label = _network_for(args)
+    opts = {}
+    if args.times is not None or args.pi0 is not None:
+        if args.method != "transient":
+            raise SystemExit(
+                "--times/--pi0 apply to --method transient only"
+            )
+        if args.times is not None:
+            opts["times"] = _parse_times(args.times)
+        if args.pi0 is not None:
+            opts["pi0"] = args.pi0
     try:
-        res = get_registry().solve(net, args.method, cache=not args.no_cache)
+        res = get_registry().solve(
+            net, args.method, cache=not args.no_cache, **opts
+        )
     except UnsupportedNetworkError as exc:
         raise SystemExit(f"solve: {exc}") from exc
     title = (
@@ -262,6 +395,8 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         tail.append(f"response time in [{r.lower:.6g}, {r.upper:.6g}]")
     if tail:
         print("; ".join(tail))
+    if res.method == "transient":
+        _print_trajectory(res)
     return 0
 
 
@@ -369,6 +504,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="lint a YAML spec and report stability without solving",
     )
     p.add_argument("spec", help="YAML spec file path (or inline YAML text)")
+    p.add_argument(
+        "--json", action="store_true",
+        help="machine-readable lint + per-station rho report on stdout",
+    )
     p.set_defaults(func=_cmd_validate)
 
     p = sub.add_parser("solve", help="solve one population via the registry")
@@ -376,8 +515,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="scenario name (omit when using --spec)")
     p.add_argument("--spec", help="solve an external YAML spec file instead")
     p.add_argument("--method", default="lp",
-                   help="solver method (lp/exact/sim/mva/aba/bjb/...)")
+                   help="solver method (lp/exact/sim/transient/mva/...)")
     p.add_argument("--population", type=int, default=None)
+    p.add_argument("--times", default=None,
+                   help="transient time grid: 't1,t2,...' or 'start:stop:num'")
+    p.add_argument("--pi0", default=None,
+                   help="transient initial state: loaded:<st>|burst:<st>|steady")
     p.add_argument("--no-cache", action="store_true")
     _add_param_flag(p)
     p.set_defaults(func=_cmd_solve)

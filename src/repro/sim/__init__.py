@@ -1,7 +1,14 @@
-"""Discrete-event simulation of closed MAP networks (the "testbed" substitute)."""
+"""Discrete-event simulation of MAP networks (the "testbed" substitute)."""
 
 from repro.sim.engine import SimResult, simulate
 from repro.sim.runner import ReplicatedResult, replicate
-from repro.sim.taps import FlowTap
+from repro.sim.taps import FlowTap, QueueTap
 
-__all__ = ["SimResult", "simulate", "ReplicatedResult", "replicate", "FlowTap"]
+__all__ = [
+    "SimResult",
+    "simulate",
+    "ReplicatedResult",
+    "replicate",
+    "FlowTap",
+    "QueueTap",
+]

@@ -31,7 +31,7 @@ import numpy as np
 
 from repro.maps.trace import MapSampler
 from repro.network.model import Network
-from repro.sim.taps import FlowTap
+from repro.sim.taps import FlowTap, QueueTap
 from repro.utils.rng import as_rng
 
 __all__ = ["SimResult", "simulate"]
@@ -181,8 +181,11 @@ def simulate(
     horizon_events: int = 200_000,
     warmup_events: int = 20_000,
     rng=None,
-    taps: "list[FlowTap] | None" = None,
+    taps: "list[FlowTap | QueueTap] | None" = None,
     initial_station: int = 0,
+    horizon_time: "float | None" = None,
+    initial_populations=None,
+    initial_phases=None,
 ) -> SimResult:
     """Simulate the network for a fixed number of service completions.
 
@@ -197,11 +200,25 @@ def simulate(
     rng:
         Seed / generator for reproducibility.
     taps:
-        Optional :class:`FlowTap` list recording flow event epochs.
+        Optional :class:`FlowTap`/:class:`QueueTap` list recording flow
+        event epochs / queue-length changes.
     initial_station:
         Station where closed jobs start (queued); the default places them
         at station 0, matching the closed-network convention.  Open chains
         start empty and are driven by the arrival process.
+    horizon_time:
+        Optional wall-clock stop: the run ends before processing any event
+        at or beyond this time (statistics integrate exactly up to it).
+        Transient measurements pair this with ``warmup_events=0`` so paths
+        cover one fixed window ``[0, horizon_time]``.
+    initial_populations:
+        Optional per-station initial job counts for the closed chain
+        (overrides ``initial_station``); must sum to the population.
+        Transient cross-checks use this to replay analytically specified
+        start states.
+    initial_phases:
+        Optional per-station initial service phases (default: each MAP's
+        embedded-stationary draw).
     """
     gen = as_rng(rng)
     M = network.n_stations
@@ -210,10 +227,27 @@ def simulate(
     taps = taps or []
     arr_taps: list[list[FlowTap]] = [[] for _ in range(M)]
     dep_taps: list[list[FlowTap]] = [[] for _ in range(M)]
+    q_taps: list[list[QueueTap]] = [[] for _ in range(M)]
     for tap in taps:
-        (arr_taps if tap.direction == "arrival" else dep_taps)[tap.station].append(tap)
+        if tap.direction == "queue":
+            q_taps[tap.station].append(tap)
+        else:
+            (arr_taps if tap.direction == "arrival" else dep_taps)[
+                tap.station
+            ].append(tap)
 
     stations = [_StationSim(st, gen) for st in network.stations]
+    if initial_phases is not None:
+        if len(initial_phases) != M:
+            raise ValueError(
+                f"initial_phases needs {M} entries, got {len(initial_phases)}"
+            )
+        for k, phase in enumerate(initial_phases):
+            if not 0 <= int(phase) < network.stations[k].phases:
+                raise ValueError(
+                    f"initial phase {phase} out of range for station {k}"
+                )
+            stations[k].phase = int(phase)
     closed_cum = (
         _routing_cum(network.routing, open_chain=False)
         if kind in ("closed", "mixed")
@@ -285,6 +319,8 @@ def simulate(
             st.arrival_time[job] = now
             for tap in arr_taps[k]:
                 tap.record(now)
+            for tap in q_taps[k]:
+                tap.record(now, st.n)
         _start_service(k)
 
     def _schedule_arrival() -> None:
@@ -294,17 +330,32 @@ def simulate(
         seq += 1
         heapq.heappush(calendar, (now + interval, seq, _ARRIVAL, -1))
 
-    # Initial state: closed jobs at `initial_station`, open chains empty
-    # with the first arrival pending.
-    for job in range(N):
-        _arrive(initial_station, job)
+    # Initial state: closed jobs at `initial_station` (or spread per
+    # `initial_populations`), open chains empty with the first arrival
+    # pending.
+    if initial_populations is not None:
+        pops = [int(n) for n in initial_populations]
+        if len(pops) != M or any(n < 0 for n in pops) or sum(pops) != N:
+            raise ValueError(
+                f"initial_populations must be {M} nonnegative counts "
+                f"summing to {N}, got {initial_populations!r}"
+            )
+        placement = [k for k in range(M) for _ in range(pops[k])]
+    else:
+        placement = [initial_station] * N
+    for job, k0 in enumerate(placement):
+        _arrive(k0, job)
     if kind != "closed":
         _schedule_arrival()
 
     total_completions = 0
+    stopped_on_time = False
     while total_completions < horizon_events:
         if not calendar:
             raise RuntimeError("event calendar ran dry (no busy stations)")
+        if horizon_time is not None and calendar[0][0] >= horizon_time:
+            stopped_on_time = True
+            break
         now, _, j, job = heapq.heappop(calendar)
 
         if j == _ARRIVAL:
@@ -332,6 +383,8 @@ def simulate(
                 resp[j].append(now - t_arr)
             for tap in dep_taps[j]:
                 tap.record(now)
+            for tap in q_taps[j]:
+                tap.record(now, st.n)
         else:
             st.arrival_time.pop(job, None)
         _start_service(j)
@@ -364,8 +417,17 @@ def simulate(
                 stations[k2].arrival_time.clear()
             for tap in taps:
                 tap.reset()
+            # Re-seed queue taps with the live occupancy: a reset path
+            # that restarts at level `initial` would misreport every
+            # station as empty until its next queue-length change.
+            for k2 in range(M):
+                for tap in q_taps[k2]:
+                    tap.record(now, stations[k2].n)
 
-    # Final flush to the last event time.
+    # Final flush: integrate statistics up to the exact stop time (the
+    # time horizon when it fired first, else the last processed event).
+    if stopped_on_time:
+        now = horizon_time
     for k in range(M):
         _flush(k)
     duration = now - stat_t0

@@ -1,17 +1,23 @@
-"""Flow taps: event-time recorders at arrival/departure points.
+"""Flow and queue taps: time-windowed recorders inside the simulator.
 
 The paper's Figure 1 marks six observation points in the TPC-W system
 ((1) client arrivals ... (6) DB departures) and plots the autocorrelation
 of each flow.  A :class:`FlowTap` records the event epochs of one such flow
 during simulation; inter-event times then feed
-:func:`repro.analysis.sample_acf`.
+:func:`repro.analysis.sample_acf`, and :meth:`FlowTap.binned_rates` turns
+the same record into a windowed throughput trajectory ``X(t)``.
+
+A :class:`QueueTap` records the piecewise-constant queue-length path of one
+station — the measurement the transient subsystem cross-checks its
+analytic ``E[N_k(t)]`` trajectories against (ensemble-averaged over
+replications; see :mod:`repro.transient.validation`).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["FlowTap"]
+__all__ = ["FlowTap", "QueueTap"]
 
 
 class FlowTap:
@@ -56,5 +62,113 @@ class FlowTap:
         t = self.times()
         return np.diff(t)
 
+    def binned_rates(self, edges) -> np.ndarray:
+        """Windowed flow rate per bin: events in ``[e_i, e_{i+1})`` / width.
+
+        ``edges`` is an increasing array of ``B + 1`` bin boundaries; the
+        result has ``B`` entries — the time-binned throughput trajectory
+        that validates analytic ``X_k(t)`` curves against simulation.
+        """
+        edges = np.asarray(edges, dtype=float)
+        if edges.ndim != 1 or len(edges) < 2 or np.any(np.diff(edges) <= 0):
+            raise ValueError("edges must be an increasing 1-D array (>= 2 points)")
+        counts, _ = np.histogram(self.times(), bins=edges)
+        return counts / np.diff(edges)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"FlowTap({self.label!r}, events={self.count})"
+
+
+class QueueTap:
+    """Records the queue-length step function ``N_k(t)`` of one station.
+
+    The engine appends ``(t, n)`` on every queue-length change; the path
+    is piecewise constant between records.  Direction is the fixed marker
+    ``"queue"`` so the engine's tap router can tell the two tap families
+    apart.
+
+    Parameters
+    ----------
+    station:
+        Station index to observe.
+    initial:
+        Queue length before the first record (0 — simulations place their
+        initial jobs through ordinary arrivals at ``t = 0``, which are
+        recorded).
+    label:
+        Name used in experiment output.
+    """
+
+    direction = "queue"
+
+    def __init__(self, station: int, initial: int = 0, label: str | None = None) -> None:
+        self.station = station
+        self.initial = int(initial)
+        self.label = label or f"station{station}-queue"
+        self._times: list[float] = []
+        self._levels: list[int] = []
+
+    def record(self, t: float, n: int) -> None:
+        self._times.append(t)
+        self._levels.append(n)
+
+    def reset(self) -> None:
+        """Drop everything recorded so far (warmup boundary)."""
+        self._times.clear()
+        self._levels.clear()
+
+    @property
+    def count(self) -> int:
+        return len(self._times)
+
+    def times(self) -> np.ndarray:
+        """Change epochs as an array."""
+        return np.asarray(self._times)
+
+    def levels(self) -> np.ndarray:
+        """Queue length right after each change epoch."""
+        return np.asarray(self._levels, dtype=np.int64)
+
+    def value_at(self, t) -> np.ndarray:
+        """Queue length at the given time(s): the last record at or before.
+
+        Vectorized step-function evaluation — the time-windowed sampling
+        that produces simulated ``N_k(t)`` trajectories on an arbitrary
+        grid.  Times before the first record evaluate to ``initial``.
+        """
+        query = np.atleast_1d(np.asarray(t, dtype=float))
+        ts = self.times()
+        ns = self.levels()
+        if len(ts) == 0:
+            return np.full(query.shape, float(self.initial))
+        idx = np.searchsorted(ts, query, side="right") - 1
+        out = np.where(idx >= 0, ns[np.clip(idx, 0, None)], self.initial)
+        return out.astype(float)
+
+    def time_average(self, edges) -> np.ndarray:
+        """Time-averaged queue length per bin ``[e_i, e_{i+1})``.
+
+        Integrates the step function exactly over each window — the binned
+        counterpart of the engine's global ``mean_queue_length``.
+        """
+        edges = np.asarray(edges, dtype=float)
+        if edges.ndim != 1 or len(edges) < 2 or np.any(np.diff(edges) <= 0):
+            raise ValueError("edges must be an increasing 1-D array (>= 2 points)")
+        ts = self.times()
+        ns = self.levels()
+        # Merge record epochs and bin edges into one breakpoint sequence.
+        pts = np.union1d(ts, edges)
+        pts = pts[(pts >= edges[0]) & (pts <= edges[-1])]
+        if len(pts) == 0 or pts[0] > edges[0]:
+            pts = np.concatenate([[edges[0]], pts])
+        values = self.value_at(pts[:-1])  # constant on [pts_i, pts_{i+1})
+        widths = np.diff(pts)
+        bin_idx = np.clip(
+            np.searchsorted(edges, pts[:-1], side="right") - 1, 0, len(edges) - 2
+        )
+        integral = np.zeros(len(edges) - 1)
+        np.add.at(integral, bin_idx, values * widths)
+        return integral / np.diff(edges)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"QueueTap({self.label!r}, changes={self.count})"

@@ -1,0 +1,60 @@
+"""repro.transient — transient analysis of MAP queueing networks.
+
+Everything the repository solved before this subsystem was steady-state;
+the paper's signature phenomenon — temporal dependence — is, however,
+*dynamic*: bursts propagate, backlogs drain, warm-ups decay.  This package
+makes those visible:
+
+* :mod:`~repro.transient.engine` — a vectorized multi-time-point
+  uniformization kernel (one Poisson sweep per checkpointed segment,
+  shared across the whole time grid; accumulated occupancy;
+  ``expm_multiply`` fallback) generalizing
+  :func:`repro.markov.transient_distribution`;
+* :mod:`~repro.transient.initial` — the declarative initial-state spec
+  language (``loaded:<station>``, ``burst:<station>``, ``steady``);
+* :mod:`~repro.transient.metrics` — trajectories of ``E[N_k(t)]``,
+  ``U_k(t)``, ``X_k(t)`` over the closed-network CTMC plus time-to-drain,
+  burst-response, and distance-to-stationarity (warm-up) summaries;
+* :mod:`~repro.transient.result` — :class:`TransientResult`, the
+  cache-round-tripping registry output;
+* :mod:`~repro.transient.validation` — ensemble-averaged simulation
+  cross-checks of every analytic trajectory.
+
+Quickstart::
+
+    from repro import runtime, scenarios
+    net = scenarios.get_scenario("drain-bursty-tandem").network(population=20)
+    res = runtime.solve(net, method="transient",
+                        times=tuple(range(0, 101, 4)), pi0="loaded:q1")
+    res.queue_length_trajectory(0), res.time_to_drain(0), res.warmup_time()
+"""
+
+from repro.transient.engine import TransientGrid, transient_grid
+from repro.transient.initial import initial_distribution, parse_pi0_spec
+from repro.transient.metrics import (
+    TransientTrajectory,
+    time_to_drain_from,
+    transient_trajectories,
+    warmup_time_from,
+)
+from repro.transient.result import TransientResult
+from repro.transient.validation import (
+    SimulatedTrajectory,
+    cross_check_gap,
+    simulated_trajectories,
+)
+
+__all__ = [
+    "SimulatedTrajectory",
+    "TransientGrid",
+    "TransientResult",
+    "TransientTrajectory",
+    "cross_check_gap",
+    "initial_distribution",
+    "parse_pi0_spec",
+    "simulated_trajectories",
+    "time_to_drain_from",
+    "transient_grid",
+    "transient_trajectories",
+    "warmup_time_from",
+]

@@ -1,0 +1,331 @@
+"""Vectorized multi-time-point uniformization: the transient engine.
+
+Generalizes :func:`repro.markov.uniformization.transient_distribution`
+from one ``(pi0, t)`` call into a kernel over a whole time grid:
+
+* **one Poisson-series sweep per segment** — the vector iterates
+  ``pi0, pi0 P, pi0 P^2, ...`` are computed once and every grid point in
+  the segment accumulates them under its own Poisson weights, so a
+  50-point grid costs ``O(q t_max)`` sparse matvecs instead of
+  ``O(q * sum_i t_i)``;
+* **checkpointed restarts** — when the largest offset in flight would need
+  more than :data:`SEGMENT_TERM_BUDGET` series terms, the sweep restarts
+  from the last completed grid point's distribution, bounding per-segment
+  series length (and the per-term weight-update work) on long grids;
+* **accumulated occupancy** — the same sweep optionally produces
+  ``L(t) = integral_0^t pi(s) ds`` via the Erlang tail identity
+  ``integral_0^t Poisson(k; q s) ds = P[Pois(qt) > k] / q``, giving
+  time-averaged occupancies without a second pass;
+* **``expm_multiply`` fallback** — Krylov-based matrix exponentials for
+  generators whose uniformization rate makes the Poisson series
+  impractically long (stiff models), selected explicitly or on a
+  :class:`~repro.utils.errors.SeriesTruncationError` under ``method="auto"``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.markov.uniformization import (
+    DEFAULT_SERIES_TOL,
+    UniformizedOperator,
+    max_series_terms,
+    series_shortfall_allowance,
+    validate_pi0,
+)
+from repro.utils.errors import NotSupportedError, SeriesTruncationError
+
+__all__ = ["SEGMENT_TERM_BUDGET", "TransientGrid", "transient_grid"]
+
+#: Poisson-term budget per checkpointed segment.  Segments restart from the
+#: last completed grid point once the next point's series would exceed this
+#: many terms; large enough that typical grids run in one sweep, small
+#: enough that the per-term weight updates (O(points-in-segment) each)
+#: never dominate the sparse matvecs.
+SEGMENT_TERM_BUDGET = 20_000
+
+
+@dataclass(frozen=True)
+class TransientGrid:
+    """Transient distributions (and optional running integrals) on a grid.
+
+    Attributes
+    ----------
+    times:
+        The requested time points, in the caller's order.
+    distributions:
+        ``(len(times), S)`` array; row ``i`` is ``pi(times[i])``.
+    integrals:
+        ``(len(times), S)`` array of ``integral_0^t pi(s) ds`` rows, or
+        ``None`` unless ``accumulate=True``.  Row sums equal ``times[i]``
+        (total occupancy time is conserved).
+    q:
+        Uniformization rate used (0.0 on the ``expm`` path).
+    n_matvecs:
+        Sparse matrix-vector products spent — the deterministic cost
+        measure the reuse benchmark gates on.
+    n_segments:
+        Number of checkpointed sweep segments (1 unless the grid was long
+        enough to trip :data:`SEGMENT_TERM_BUDGET`).
+    method:
+        ``"uniformization"`` or ``"expm"`` — the kernel that actually ran.
+    """
+
+    times: np.ndarray
+    distributions: np.ndarray
+    integrals: "np.ndarray | None"
+    q: float
+    n_matvecs: int
+    n_segments: int
+    method: str
+
+    def distribution_at(self, i: int) -> np.ndarray:
+        """Row ``i`` of :attr:`distributions` (convenience accessor)."""
+        return self.distributions[i]
+
+
+def _validated_times(times) -> np.ndarray:
+    t = np.asarray(times, dtype=float)
+    if t.ndim != 1 or t.size == 0:
+        raise ValueError("times must be a non-empty 1-D sequence")
+    if np.any(t < 0) or not np.all(np.isfinite(t)):
+        raise ValueError("times must be finite and >= 0")
+    return t
+
+
+def _sweep_segment(
+    op: UniformizedOperator,
+    start_vec: np.ndarray,
+    offsets: np.ndarray,
+    tol: float,
+    accumulate: bool,
+) -> tuple[np.ndarray, "np.ndarray | None", int]:
+    """One shared Poisson sweep over ascending ``offsets`` from ``start_vec``.
+
+    Returns ``(points, point_integrals, n_matvecs)`` where ``points`` is
+    ``(len(offsets), S)`` and ``point_integrals`` the per-offset
+    ``integral_0^dt`` rows (or ``None``).  Offsets equal to zero are the
+    start vector itself.
+    """
+    n, S = len(offsets), len(start_vec)
+    out = np.zeros((n, S))
+    integ = np.zeros((n, S)) if accumulate else None
+    qdt = op.q * offsets
+    positive = qdt > 0.0
+    if not positive.any():
+        out[:] = start_vec
+        return out, integ, 0
+
+    with np.errstate(divide="ignore"):
+        log_qdt = np.where(positive, np.log(np.where(positive, qdt, 1.0)), -np.inf)
+    log_w = -qdt  # log Poisson(0; qdt); exact 1.0 weight at dt == 0
+    acc = np.zeros(n)
+    vec = start_vec.copy()
+    k = 0
+    matvecs = 0
+    max_terms = max_series_terms(float(qdt.max()))
+    active = np.ones(n, dtype=bool)
+    while active.any():
+        if k > max_terms:
+            # The term guard fired with unconverged points.  A shortfall
+            # within the float-drift allowance is round-off on a fully
+            # swept series (normalize below); anything larger is a real
+            # truncation and must surface as the structured error.
+            shortfall = 1.0 - acc[active]
+            if shortfall.max() > series_shortfall_allowance(tol, k):
+                worst = int(np.argmin(acc))
+                raise SeriesTruncationError(
+                    qt=float(qdt[worst]),
+                    terms=k,
+                    accumulated=float(acc[worst]),
+                    tol=tol,
+                )
+            break
+        w = np.exp(log_w)
+        idx = np.nonzero(active)[0]
+        out[idx] += w[idx, None] * vec[None, :]
+        acc[idx] += w[idx]
+        if accumulate:
+            # Erlang tail identity: integral_0^dt Poisson(k; q s) ds
+            # = P[Pois(q dt) > k] / q = (1 - acc_after_this_term) / q.
+            integ[idx] += (
+                np.clip(1.0 - acc[idx], 0.0, None)[:, None] * vec[None, :] / op.q
+            )
+        active = (1.0 - acc) > series_shortfall_allowance(tol, k)
+        if not active.any():
+            break
+        k += 1
+        log_w = log_w + log_qdt - np.log(k)
+        vec = op.step(vec)
+        matvecs += 1
+    # Normalize away the truncated tail (weights sum to acc_i <= 1).
+    out /= np.where(acc > 0.0, acc, 1.0)[:, None]
+    return out, integ, matvecs
+
+
+def _grid_uniformization(
+    op: UniformizedOperator,
+    pi0: np.ndarray,
+    times_sorted: np.ndarray,
+    tol: float,
+    accumulate: bool,
+    segment_terms: int,
+) -> tuple[np.ndarray, "np.ndarray | None", int, int]:
+    """Checkpointed shared-sweep evaluation over an ascending time grid."""
+    n = len(times_sorted)
+    S = len(pi0)
+    dists = np.empty((n, S))
+    integrals = np.empty((n, S)) if accumulate else None
+
+    if op.q == 0.0:  # Q == 0: the distribution never moves
+        dists[:] = pi0
+        if accumulate:
+            integrals[:] = times_sorted[:, None] * pi0[None, :]
+        return dists, integrals, 0, 1
+
+    matvecs = 0
+    n_segments = 0
+    start = 0
+    ckpt_time = 0.0
+    ckpt_vec = pi0
+    ckpt_integral = np.zeros(S) if accumulate else None
+    while start < n:
+        # Greedily extend the segment while its largest offset stays
+        # within the per-segment term budget (always take one point).
+        stop = start + 1
+        while (
+            stop < n
+            and max_series_terms(op.q * (times_sorted[stop] - ckpt_time))
+            <= segment_terms
+        ):
+            stop += 1
+        offsets = times_sorted[start:stop] - ckpt_time
+        out, integ, mv = _sweep_segment(op, ckpt_vec, offsets, tol, accumulate)
+        dists[start:stop] = out
+        matvecs += mv
+        n_segments += 1
+        if accumulate:
+            integrals[start:stop] = ckpt_integral[None, :] + integ
+            ckpt_integral = integrals[stop - 1]
+        ckpt_time = times_sorted[stop - 1]
+        ckpt_vec = dists[stop - 1]
+        start = stop
+    return dists, integrals, matvecs, n_segments
+
+
+def _grid_expm(
+    Q: sp.csr_matrix, pi0: np.ndarray, times_sorted: np.ndarray
+) -> np.ndarray:
+    """Sequential ``expm_multiply`` fallback (point distributions only)."""
+    from scipy.sparse.linalg import expm_multiply
+
+    QT = Q.T.tocsc()
+    dists = np.empty((len(times_sorted), len(pi0)))
+    vec = pi0
+    prev = 0.0
+    for i, t in enumerate(times_sorted):
+        dt = t - prev
+        if dt > 0.0:
+            vec = expm_multiply(QT * dt, vec)
+        dists[i] = vec
+        prev = t
+    # expm_multiply is not probability-aware: clip round-off and renormalize.
+    np.clip(dists, 0.0, None, out=dists)
+    dists /= dists.sum(axis=1, keepdims=True)
+    return dists
+
+
+def transient_grid(
+    Q: "sp.spmatrix | np.ndarray",
+    pi0: np.ndarray,
+    times,
+    tol: float = DEFAULT_SERIES_TOL,
+    accumulate: bool = False,
+    method: str = "auto",
+    operator: "UniformizedOperator | None" = None,
+    segment_terms: int = SEGMENT_TERM_BUDGET,
+) -> TransientGrid:
+    """Evaluate ``pi(t) = pi0 exp(Q t)`` on a whole time grid.
+
+    Parameters
+    ----------
+    Q:
+        CTMC generator (rows sum to zero), sparse or dense.
+    pi0:
+        Initial probability vector.
+    times:
+        Time points (any order, duplicates allowed); results are returned
+        in the given order.
+    tol:
+        Poisson-series truncation tolerance (weight ``1 - tol``).
+    accumulate:
+        Also produce the running integrals ``integral_0^t pi(s) ds``
+        (time-averaged occupancy numerators).  Uniformization only.
+    method:
+        ``"uniformization"``, ``"expm"``, or ``"auto"`` (uniformization,
+        falling back to ``expm_multiply`` on a
+        :class:`~repro.utils.errors.SeriesTruncationError`).
+    operator:
+        Prebuilt :class:`~repro.markov.uniformization.UniformizedOperator`
+        for ``Q`` — callers issuing several grid queries against one
+        generator (metric layers, sweeps) pass it to reuse the sparse
+        ``P`` assembly.
+    segment_terms:
+        Per-segment Poisson-term budget before a checkpointed restart.
+
+    Returns
+    -------
+    TransientGrid
+        Distributions (and integrals) in the caller's time order, plus
+        engine statistics.
+    """
+    if method not in ("auto", "uniformization", "expm"):
+        raise ValueError(f"unknown transient method {method!r}")
+    t_in = _validated_times(times)
+    pi0 = validate_pi0(pi0)
+    order = np.argsort(t_in, kind="stable")
+    t_sorted = t_in[order]
+    inverse = np.empty_like(order)
+    inverse[order] = np.arange(len(order))
+
+    op = operator if operator is not None else UniformizedOperator(Q)
+    if op.size != len(pi0):
+        raise ValueError(
+            f"pi0 has length {len(pi0)} for a {op.size}-state generator"
+        )
+
+    if method != "expm":
+        try:
+            dists, integrals, matvecs, n_segments = _grid_uniformization(
+                op, pi0, t_sorted, tol, accumulate, int(segment_terms)
+            )
+            return TransientGrid(
+                times=t_in,
+                distributions=dists[inverse],
+                integrals=None if integrals is None else integrals[inverse],
+                q=op.q,
+                n_matvecs=matvecs,
+                n_segments=n_segments,
+                method="uniformization",
+            )
+        except SeriesTruncationError:
+            if method == "uniformization" or accumulate:
+                raise
+    if accumulate:
+        raise NotSupportedError(
+            "accumulated occupancy requires the uniformization kernel; "
+            "the expm fallback computes point distributions only"
+        )
+    dists = _grid_expm(op.Q, pi0, t_sorted)
+    return TransientGrid(
+        times=t_in,
+        distributions=dists[inverse],
+        integrals=None,
+        q=0.0,
+        n_matvecs=0,
+        n_segments=len(t_sorted),
+        method="expm",
+    )

@@ -1,0 +1,153 @@
+"""Initial-state specifications for transient analysis.
+
+A transient solve is ``(network, pi0, time grid)``; the ``pi0`` here is a
+distribution over the joint (population, phase) CTMC state space, which no
+user wants to write by hand.  This module defines the small declarative
+spec language the subsystem (and its cache fingerprints) use instead:
+
+``"loaded:<station>"``
+    Every job queued at the named station (the backlog of a *time-to-drain*
+    study); each station's phase drawn independently from its service MAP's
+    time-stationary phase law.
+``"burst:<station>"``
+    The stationary distribution conditioned on the named station's service
+    MAP sitting in its bursty phase (see
+    :func:`repro.workloads.bursty.bursty_phase`) — the *burst-response*
+    experiment: how the network relaxes after a burst episode.
+``"steady"``
+    The stationary distribution itself (trajectories must stay flat; a
+    sanity spec for tests and calibration).
+
+Specs are plain strings, so they fingerprint canonically and survive the
+result cache; stations may be named by index or by station name.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.network.model import Network
+from repro.network.statespace import NetworkStateSpace
+from repro.utils.errors import ValidationError
+from repro.workloads.bursty import bursty_phase
+
+__all__ = ["initial_distribution", "parse_pi0_spec"]
+
+#: Minimum probability mass of a conditioning event (``burst:`` specs): a
+#: stationary bursty-phase probability below this means the conditional
+#: distribution is numerically meaningless.
+MIN_CONDITIONING_MASS = 1e-12
+
+
+def _station_index(network: Network, token: str) -> int:
+    """Resolve a station reference that may be an index or a name."""
+    token = token.strip()
+    if not token:
+        raise ValidationError("pi0 spec names no station")
+    try:
+        k = int(token)
+    except ValueError:
+        return network.station_index(token)
+    if not 0 <= k < network.n_stations:
+        raise ValidationError(
+            f"station index {k} out of range for {network.n_stations} stations"
+        )
+    return k
+
+
+def parse_pi0_spec(network: Network, spec: str) -> tuple[str, "int | None"]:
+    """Validate a pi0 spec string; returns ``(kind, station_index)``.
+
+    ``kind`` is one of ``"loaded"``, ``"burst"``, ``"steady"``; the station
+    is ``None`` for ``"steady"``.
+    """
+    if not isinstance(spec, str):
+        raise ValidationError(
+            f"pi0 spec must be a string, got {type(spec).__name__}"
+        )
+    head, _, tail = spec.partition(":")
+    head = head.strip()
+    if head == "steady":
+        if tail:
+            raise ValidationError(f"'steady' takes no station, got {spec!r}")
+        return "steady", None
+    if head in ("loaded", "burst"):
+        return head, _station_index(network, tail)
+    raise ValidationError(
+        f"unknown pi0 spec {spec!r}; use 'loaded:<station>', "
+        "'burst:<station>', or 'steady'"
+    )
+
+
+def _phase_product_law(network: Network, space: NetworkStateSpace) -> np.ndarray:
+    """Independent time-stationary phase law over the joint phase codes."""
+    probs = np.ones(space.n_phase)
+    digits = space.phase_digits
+    for j, st in enumerate(network.stations):
+        theta = np.asarray(st.service.phase_stationary, dtype=float)
+        probs *= theta[digits[:, j]]
+    return probs / probs.sum()
+
+
+def initial_distribution(
+    network: Network,
+    space: NetworkStateSpace,
+    spec: str,
+    pi_inf: "np.ndarray | None" = None,
+) -> np.ndarray:
+    """Compile a pi0 spec into a distribution over ``space``.
+
+    Parameters
+    ----------
+    network:
+        The closed network (must match ``space``).
+    space:
+        Joint (population, phase) state space.
+    spec:
+        A spec string (module docstring); raw probability vectors are the
+        engine's business, not this compiler's.
+    pi_inf:
+        Stationary distribution over ``space`` — required by the
+        ``"burst:*"`` and ``"steady"`` specs, ignored otherwise.
+    """
+    kind, station = parse_pi0_spec(network, spec)
+
+    if kind == "steady":
+        if pi_inf is None:
+            raise ValidationError("'steady' pi0 requires the stationary solution")
+        return np.asarray(pi_inf, dtype=float).copy()
+
+    if kind == "loaded":
+        pops = np.zeros(network.n_stations, dtype=np.int64)
+        pops[station] = network.population
+        # Flat index of (all jobs here, phase code 0): the block of the
+        # loaded composition starts there and spans the phase codes.
+        base = space.encode(pops, np.zeros(network.n_stations, dtype=np.int64))
+        pi0 = np.zeros(space.size)
+        pi0[base : base + space.n_phase] = _phase_product_law(network, space)
+        return pi0
+
+    # kind == "burst": condition the stationary law on the bursty phase.
+    if pi_inf is None:
+        raise ValidationError(
+            "'burst:*' pi0 requires the stationary solution to condition on"
+        )
+    service = network.stations[station].service
+    if service.order < 2:
+        raise ValidationError(
+            f"station {network.stations[station].name!r} has a single-phase "
+            "service process: there is no bursty phase to condition on"
+        )
+    phase = bursty_phase(service, role="service")
+    codes = space.phases_with(station, phase)
+    mask = np.zeros(space.size, dtype=bool)
+    mask.reshape(space.comp.size, space.n_phase)[:, codes] = True
+    pi0 = np.where(mask, np.asarray(pi_inf, dtype=float), 0.0)
+    mass = pi0.sum()
+    if mass < MIN_CONDITIONING_MASS:
+        raise ValidationError(
+            f"stationary probability of the bursty phase at station "
+            f"{network.stations[station].name!r} is {mass:.3g}; the "
+            "conditional initial distribution is not well defined"
+        )
+    return pi0 / mass

@@ -1,0 +1,115 @@
+""":class:`TransientResult` — the registry's transient solve output.
+
+Extends :class:`~repro.runtime.registry.SolveResult` with the time grid and
+per-station trajectory arrays, while keeping the uniform steady-style
+fields meaningful: the interval fields hold the *final grid time* values
+(degenerate intervals, like every point solver), and the stationary
+``t -> inf`` references travel in ``extra`` — so generic drivers, sweep
+tables, and the CLI render a transient result without special-casing,
+and the trajectories round-trip the two-tier JSON cache losslessly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+import numpy as np
+
+from repro.runtime.registry import SolveResult
+from repro.transient.metrics import (
+    DRAIN_RELAXATION,
+    WARMUP_TV_EPS,
+    time_to_drain_from,
+    warmup_time_from,
+)
+
+__all__ = ["TransientResult"]
+
+
+@dataclass(frozen=True)
+class TransientResult(SolveResult):
+    """A :class:`SolveResult` carrying full transient trajectories.
+
+    Trajectory fields are per-station tuples of per-time values (station
+    index first, matching ``station_names``); ``times`` is the grid they
+    are sampled on.  ``distance_tv`` is the total-variation distance of
+    ``pi(t)`` to stationarity — the warm-up/mixing diagnostic.
+    """
+
+    times: tuple[float, ...] = ()
+    queue_length_t: tuple[tuple[float, ...], ...] = ()
+    utilization_t: tuple[tuple[float, ...], ...] = ()
+    throughput_t: tuple[tuple[float, ...], ...] = ()
+    distance_tv: tuple[float, ...] = ()
+    #: Time-averaged occupancies ``(1/t) integral E[N_k]`` (empty unless
+    #: the solve accumulated).
+    mean_occupancy_t: tuple[tuple[float, ...], ...] = ()
+
+    # ------------------------------------------------------------------ #
+    @property
+    def times_array(self) -> np.ndarray:
+        """The time grid as an array."""
+        return np.asarray(self.times, dtype=float)
+
+    def queue_length_trajectory(self, k: int) -> np.ndarray:
+        """``E[N_k(t)]`` over the grid."""
+        return np.asarray(self.queue_length_t[k], dtype=float)
+
+    def utilization_trajectory(self, k: int) -> np.ndarray:
+        """``P[N_k(t) >= 1]`` over the grid."""
+        return np.asarray(self.utilization_t[k], dtype=float)
+
+    def throughput_trajectory(self, k: int) -> np.ndarray:
+        """Departure rate ``X_k(t)`` over the grid."""
+        return np.asarray(self.throughput_t[k], dtype=float)
+
+    @property
+    def distance_array(self) -> np.ndarray:
+        """``TV(pi(t), pi_inf)`` over the grid."""
+        return np.asarray(self.distance_tv, dtype=float)
+
+    def queue_length_stationary(self, k: int) -> float:
+        """The ``t -> inf`` mean queue length of station ``k``."""
+        return float(self.extra["queue_length_inf"][k])
+
+    def time_to_drain(self, k: int, relaxation: float = DRAIN_RELAXATION) -> float:
+        """Relaxation time of station ``k`` (see :mod:`repro.transient.metrics`)."""
+        return time_to_drain_from(
+            self.times_array,
+            self.queue_length_trajectory(k),
+            self.queue_length_stationary(k),
+            relaxation,
+        )
+
+    def warmup_time(self, eps: float = WARMUP_TV_EPS) -> float:
+        """Mixing-time estimate: first grid time with TV distance <= eps."""
+        return warmup_time_from(self.times_array, self.distance_array, eps)
+
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict:
+        """JSON-serializable payload (adds the trajectory block)."""
+        payload = super().to_dict()
+        payload["times"] = list(self.times)
+        payload["queue_length_t"] = [list(row) for row in self.queue_length_t]
+        payload["utilization_t"] = [list(row) for row in self.utilization_t]
+        payload["throughput_t"] = [list(row) for row in self.throughput_t]
+        payload["distance_tv"] = list(self.distance_tv)
+        payload["mean_occupancy_t"] = [list(row) for row in self.mean_occupancy_t]
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict, from_cache: bool = False) -> "TransientResult":
+        """Rebuild from a :meth:`to_dict` payload (cache replay)."""
+        base = SolveResult.from_dict(payload, from_cache=from_cache)
+        base_fields = {f.name: getattr(base, f.name) for f in fields(SolveResult)}
+        return cls(
+            **base_fields,
+            times=tuple(payload["times"]),
+            queue_length_t=tuple(tuple(r) for r in payload["queue_length_t"]),
+            utilization_t=tuple(tuple(r) for r in payload["utilization_t"]),
+            throughput_t=tuple(tuple(r) for r in payload["throughput_t"]),
+            distance_tv=tuple(payload["distance_tv"]),
+            mean_occupancy_t=tuple(
+                tuple(r) for r in payload.get("mean_occupancy_t", [])
+            ),
+        )

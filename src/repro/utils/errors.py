@@ -25,6 +25,33 @@ class SolverError(ReproError, RuntimeError):
     """A numerical solver (linear system, LP, fixed point) failed."""
 
 
+class SeriesTruncationError(SolverError):
+    """A truncated series hit its term guard before converging.
+
+    Raised by the uniformization kernels when the Poisson series reaches
+    the :func:`repro.markov.uniformization.max_series_terms` guard before
+    accumulating ``1 - tol`` of the probability weight — a structured
+    signal (never a silent truncation) that callers can catch to fall
+    back to another method (e.g. ``scipy``'s ``expm_multiply``).
+    """
+
+    def __init__(self, qt: float, terms: int, accumulated: float, tol: float):
+        self.qt = float(qt)
+        self.terms = int(terms)
+        self.accumulated = float(accumulated)
+        self.tol = float(tol)
+        super().__init__(
+            f"Poisson series truncated after {self.terms} terms with weight "
+            f"{self.accumulated:.12g} < 1 - {self.tol:g} (qt = {self.qt:.6g}); "
+            "increase the tolerance or use the expm fallback"
+        )
+
+    def __reduce__(self):
+        # Mirror UnsupportedNetworkError: rebuild from the structured
+        # fields so the exception survives pickling across sweep workers.
+        return (type(self), (self.qt, self.terms, self.accumulated, self.tol))
+
+
 class NotSupportedError(ReproError, NotImplementedError):
     """The requested combination of features is not supported by this method."""
 

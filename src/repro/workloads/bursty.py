@@ -11,11 +11,18 @@ from __future__ import annotations
 
 from typing import NamedTuple
 
+import numpy as np
+
 from repro.maps.fitting import fit_map2
 from repro.maps.map import MAP
 from repro.utils.errors import ValidationError
 
-__all__ = ["BurstinessLevel", "BURSTINESS_LEVELS", "bursty_service"]
+__all__ = [
+    "BurstinessLevel",
+    "BURSTINESS_LEVELS",
+    "bursty_phase",
+    "bursty_service",
+]
 
 
 class BurstinessLevel(NamedTuple):
@@ -61,3 +68,30 @@ def bursty_service(mean: float, level: str = "high") -> MAP:
             f"{sorted(BURSTINESS_LEVELS)}"
         ) from None
     return fit_map2(mean, lvl.scv, lvl.gamma2)
+
+
+def bursty_phase(process: MAP, role: str = "service") -> int:
+    """Index of the phase where the MAP's burst hits the system hardest.
+
+    For a **service** process the burst of *queueing* happens in the phase
+    with the *lowest* conditional completion rate (work piles up while the
+    server crawls through its slow phase — the caching/memory-pressure
+    episodes the paper traces TPC-W burstiness to).  For an **arrival**
+    process it is the phase with the *highest* event rate (the flood).
+    Burst-response studies condition the stationary law on this phase and
+    watch the relaxation back to equilibrium
+    (see :func:`repro.transient.initial_distribution`).
+
+    Parameters
+    ----------
+    process:
+        The MAP whose bursty phase to identify.
+    role:
+        ``"service"`` (slowest phase) or ``"arrival"`` (fastest phase).
+    """
+    if role not in ("service", "arrival"):
+        raise ValidationError(
+            f"role must be 'service' or 'arrival', got {role!r}"
+        )
+    rates = process.phase_event_rates
+    return int(np.argmin(rates) if role == "service" else np.argmax(rates))

@@ -120,3 +120,30 @@ class TestUniformization:
         Q = birth_death_generator(3, 1.0, 1.0)
         with pytest.raises(ValueError):
             transient_distribution(Q, np.array([1.0, 0, 0, 0]), -1.0)
+
+    def test_large_qt_converges_without_truncation_error(self):
+        """Float drift on long series must normalize, not raise."""
+        Q = birth_death_generator(4, 1.0, 1.5)
+        pi0 = np.array([0.0, 0.0, 0.0, 0.0, 1.0])
+        pi_t = transient_distribution(Q, pi0, 500.0)  # qt ~ 2000 terms
+        assert pi_t.sum() == pytest.approx(1.0, abs=1e-9)
+
+    def test_truncation_raises_structured_error(self, monkeypatch):
+        from repro.markov import uniformization
+        from repro.utils.errors import SeriesTruncationError
+
+        monkeypatch.setattr(uniformization, "max_series_terms", lambda qt: 1)
+        Q = birth_death_generator(5, 1.0, 1.0)
+        pi0 = np.zeros(6)
+        pi0[0] = 1.0
+        with pytest.raises(SeriesTruncationError) as exc:
+            transient_distribution(Q, pi0, 10.0)
+        err = exc.value
+        assert err.terms >= 1
+        assert 0.0 <= err.accumulated < 1.0
+        assert err.qt > 0 and err.tol > 0
+        # the structured fields survive pickling (sweep-worker transport)
+        import pickle
+
+        clone = pickle.loads(pickle.dumps(err))
+        assert (clone.qt, clone.terms) == (err.qt, err.terms)

@@ -54,6 +54,22 @@ class TestStateSpace:
             comp_rank = space.comp.rank(comp)
             code = int(np.dot(ph, space.phase_strides))
             assert space.index(comp_rank, code) == idx
+            assert space.encode(comp, ph) == idx  # encode inverts decode
+
+    def test_encode_validates_inputs(self):
+        P = np.array([[0.0, 1.0], [1.0, 0.0]])
+        net = ClosedNetwork(
+            [queue("a", mmpp2(0.1, 0.1, 1.0, 2.0)), queue("b", exponential(1.0))],
+            P,
+            3,
+        )
+        space = NetworkStateSpace(net)
+        with pytest.raises(ValueError):
+            space.encode([3], [0])  # wrong arity
+        with pytest.raises(ValueError):
+            space.encode([2, 2], [0, 0])  # not a composition of N=3
+        with pytest.raises(ValueError):
+            space.encode([3, 0], [2, 0])  # phase out of range
 
     def test_generator_rows_sum_to_zero(self):
         P = np.array([[0.2, 0.8], [1.0, 0.0]])

@@ -100,6 +100,46 @@ class TestSolve:
             main(["solve", "--spec", str(spec), "-p", "service_mean_2=9.9"])
 
 
+class TestSolveTransient:
+    def test_transient_solve_prints_trajectory(self, capsys):
+        assert main([
+            "solve", "drain-bursty-tandem", "--method", "transient",
+            "--population", "5", "--times", "0:40:5", "--pi0", "loaded:q1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "transient trajectory" in out
+        assert "E[N:q1]" in out and "TV" in out
+        assert "time-to-drain" in out and "warm-up" in out
+        assert "stationary E[N]" in out
+
+    def test_times_comma_list(self, capsys):
+        assert main([
+            "solve", "drain-bursty-tandem", "--method", "transient",
+            "--population", "4", "--times", "0,5,10",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert out.count("\n") > 5
+
+    def test_times_rejected_for_other_methods(self):
+        with pytest.raises(SystemExit, match="transient only"):
+            main([
+                "solve", "poisson-tandem", "--method", "mva",
+                "--times", "0,1",
+            ])
+
+    def test_bad_times_rejected(self):
+        with pytest.raises(SystemExit, match="--times expects"):
+            main([
+                "solve", "drain-bursty-tandem", "--method", "transient",
+                "--times", "zero,one",
+            ])
+
+    def test_transient_scenarios_registered(self):
+        names = get_scenario_registry().names()
+        assert "drain-bursty-tandem" in names
+        assert "burst-response-tpcw" in names
+
+
 class TestSweep:
     def test_sweep_prints_fingerprint_and_rows(self, capsys):
         assert main([

@@ -1,5 +1,7 @@
 """The ``python -m repro.scenarios validate`` subcommand."""
 
+import pytest
+
 from repro.scenarios.cli import main
 
 OPEN_YAML = """\
@@ -110,3 +112,55 @@ routing:
         )
         assert main(["validate", _write(tmp_path, hot)]) == 0
         assert "NEAR SATURATION" in capsys.readouterr().out
+
+
+class TestValidateJson:
+    """--json: the machine-readable lint + rho report for CI scripts."""
+
+    def _report(self, capsys):
+        import json
+
+        return json.loads(capsys.readouterr().out)
+
+    def test_open_spec_reports_rho_per_station(self, tmp_path, capsys):
+        assert main(["validate", "--json", _write(tmp_path, OPEN_YAML)]) == 0
+        doc = self._report(capsys)
+        assert doc["valid"] is True
+        assert doc["kind"] == "open"
+        by_name = {row["name"]: row for row in doc["stations"]}
+        assert by_name["q1"]["rho_k"] == pytest.approx(0.7)
+        assert by_name["q2"]["rho_k"] == pytest.approx(0.6)
+        assert by_name["q1"]["lambda_k"] == pytest.approx(1.0)
+        assert by_name["q1"]["stability"] == "stable"
+        assert doc["arrival_rate"] == pytest.approx(1.0)
+
+    def test_closed_spec_reports_bottleneck(self, tmp_path, capsys):
+        assert main(["validate", "--json", _write(tmp_path, CLOSED_YAML)]) == 0
+        doc = self._report(capsys)
+        assert doc["valid"] is True and doc["kind"] == "closed"
+        assert doc["population"] == 10
+        flags = {row["name"]: row["bottleneck"] for row in doc["stations"]}
+        assert flags == {"a": True, "b": False}
+
+    def test_invalid_spec_is_json_on_stdout(self, tmp_path, capsys):
+        assert main(["validate", "--json", _write(tmp_path, UNSTABLE_YAML)]) == 1
+        doc = self._report(capsys)
+        assert doc["valid"] is False
+        assert "rho" in doc["error"]
+        assert doc["error_type"]
+
+    def test_yaml_syntax_error_is_json_too(self, tmp_path, capsys):
+        assert main(
+            ["validate", "--json", _write(tmp_path, "stations: [broken")]
+        ) == 1
+        doc = self._report(capsys)
+        assert doc["valid"] is False
+
+    def test_near_saturation_verdict(self, tmp_path, capsys):
+        hot = OPEN_YAML.replace("rate: 3.0", "rate: 1.0").replace(
+            "mean: 0.7", "mean: 0.97"
+        )
+        assert main(["validate", "--json", _write(tmp_path, hot)]) == 0
+        doc = self._report(capsys)
+        q1 = next(r for r in doc["stations"] if r["name"] == "q1")
+        assert q1["stability"] == "near-saturation"

@@ -1,0 +1,179 @@
+"""Tests for the multi-time-point uniformization engine."""
+
+import numpy as np
+import pytest
+import scipy.linalg
+import scipy.sparse as sp
+
+from repro.markov import steady_state_ctmc, transient_distribution
+from repro.markov.uniformization import UniformizedOperator
+from repro.transient import engine as engine_mod
+from repro.transient.engine import transient_grid
+from repro.utils.errors import NotSupportedError, SeriesTruncationError
+
+
+def birth_death_generator(n: int, lam: float, mu: float) -> np.ndarray:
+    Q = np.zeros((n + 1, n + 1))
+    for i in range(n):
+        Q[i, i + 1] = lam
+        Q[i + 1, i] = mu
+    np.fill_diagonal(Q, -Q.sum(axis=1))
+    return Q
+
+
+def delta(n, i):
+    v = np.zeros(n)
+    v[i] = 1.0
+    return v
+
+
+class TestGridKernel:
+    def test_matches_single_point_calls(self):
+        Q = birth_death_generator(12, 0.8, 1.0)
+        pi0 = delta(13, 0)
+        times = [0.0, 0.5, 2.0, 7.5, 20.0]
+        grid = transient_grid(Q, pi0, times)
+        for i, t in enumerate(times):
+            single = transient_distribution(Q, pi0, t)
+            assert np.allclose(grid.distributions[i], single, atol=1e-10), t
+
+    def test_matches_dense_expm(self):
+        Q = birth_death_generator(8, 1.3, 0.9)
+        pi0 = np.full(9, 1.0 / 9.0)
+        times = np.array([0.3, 1.0, 4.0])
+        grid = transient_grid(Q, pi0, times)
+        for i, t in enumerate(times):
+            expected = pi0 @ scipy.linalg.expm(Q * t)
+            assert np.allclose(grid.distributions[i], expected, atol=1e-9)
+
+    def test_unsorted_times_return_in_caller_order(self):
+        Q = birth_death_generator(6, 1.0, 1.0)
+        pi0 = delta(7, 3)
+        shuffled = [5.0, 0.0, 2.0, 8.0, 2.0]
+        grid = transient_grid(Q, pi0, shuffled)
+        ordered = transient_grid(Q, pi0, sorted(shuffled))
+        assert np.array_equal(grid.times, np.asarray(shuffled))
+        for i, t in enumerate(shuffled):
+            j = sorted(shuffled).index(t)
+            assert np.allclose(grid.distributions[i], ordered.distributions[j])
+
+    def test_rows_are_distributions(self):
+        Q = birth_death_generator(10, 2.0, 1.0)
+        grid = transient_grid(Q, delta(11, 0), np.linspace(0, 10, 9))
+        sums = grid.distributions.sum(axis=1)
+        assert np.allclose(sums, 1.0, atol=1e-9)
+        assert (grid.distributions >= -1e-12).all()
+
+    def test_shared_sweep_beats_per_point_matvecs(self):
+        """The reuse claim: one sweep costs ~q t_max, not q sum(t_i)."""
+        Q = birth_death_generator(15, 1.0, 1.2)
+        pi0 = delta(16, 15)
+        times = np.linspace(0.0, 50.0, 50)
+        shared = transient_grid(Q, pi0, times)
+        naive = sum(
+            transient_grid(Q, pi0, [t]).n_matvecs for t in times if t > 0
+        )
+        assert shared.n_segments == 1
+        assert naive >= 5 * shared.n_matvecs
+
+    def test_checkpointed_restart_agrees(self):
+        Q = birth_death_generator(10, 0.7, 1.0)
+        pi0 = delta(11, 10)
+        times = np.linspace(0.0, 40.0, 21)
+        one = transient_grid(Q, pi0, times)
+        many = transient_grid(Q, pi0, times, segment_terms=60)
+        assert many.n_segments > one.n_segments
+        assert np.allclose(many.distributions, one.distributions, atol=1e-8)
+
+    def test_converges_to_steady_state(self):
+        Q = birth_death_generator(10, 0.6, 1.0)
+        pi_inf = steady_state_ctmc(Q)
+        grid = transient_grid(Q, delta(11, 0), [300.0])
+        assert np.allclose(grid.distributions[0], pi_inf, atol=1e-8)
+
+    def test_zero_generator_is_identity(self):
+        Q = np.zeros((4, 4))
+        pi0 = np.array([0.1, 0.2, 0.3, 0.4])
+        grid = transient_grid(Q, pi0, [0.0, 5.0], accumulate=True)
+        assert np.allclose(grid.distributions, pi0)
+        assert np.allclose(grid.integrals[1], 5.0 * pi0)
+
+    def test_operator_reuse(self):
+        Q = sp.csr_matrix(birth_death_generator(9, 1.0, 1.0))
+        op = UniformizedOperator(Q)
+        a = transient_grid(Q, delta(10, 0), [1.0, 3.0], operator=op)
+        b = transient_grid(Q, delta(10, 9), [2.0], operator=op)
+        assert a.q == op.q and b.q == op.q
+
+    def test_rejects_bad_inputs(self):
+        Q = birth_death_generator(4, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            transient_grid(Q, delta(5, 0), [])
+        with pytest.raises(ValueError):
+            transient_grid(Q, delta(5, 0), [-1.0])
+        with pytest.raises(ValueError):
+            transient_grid(Q, np.ones(5), [1.0])  # not a distribution
+        with pytest.raises(ValueError):
+            transient_grid(Q, delta(6, 0), [1.0])  # wrong length
+        with pytest.raises(ValueError):
+            transient_grid(Q, delta(5, 0), [1.0], method="magic")
+
+
+class TestAccumulatedOccupancy:
+    def test_integral_mass_equals_time(self):
+        Q = birth_death_generator(12, 1.1, 1.0)
+        times = np.array([0.0, 1.5, 4.0, 9.0])
+        grid = transient_grid(Q, delta(13, 0), times, accumulate=True)
+        assert np.allclose(grid.integrals.sum(axis=1), times, atol=1e-8)
+
+    def test_integral_matches_quadrature(self):
+        Q = birth_death_generator(6, 0.9, 1.2)
+        pi0 = delta(7, 6)
+        t_end = 3.0
+        grid = transient_grid(Q, pi0, [t_end], accumulate=True)
+        fine = np.linspace(0.0, t_end, 2001)
+        dists = transient_grid(Q, pi0, fine).distributions
+        from scipy.integrate import trapezoid
+
+        quad = trapezoid(dists, fine, axis=0)
+        assert np.allclose(grid.integrals[0], quad, atol=1e-5)
+
+    def test_integral_monotone_in_t(self):
+        Q = birth_death_generator(5, 1.0, 1.0)
+        grid = transient_grid(
+            Q, delta(6, 0), np.linspace(0, 8, 9), accumulate=True
+        )
+        assert (np.diff(grid.integrals, axis=0) >= -1e-12).all()
+
+
+class TestExpmFallback:
+    def test_explicit_expm_matches_uniformization(self):
+        Q = birth_death_generator(10, 1.0, 1.3)
+        pi0 = delta(11, 0)
+        times = [0.0, 0.7, 2.5, 6.0]
+        uni = transient_grid(Q, pi0, times, method="uniformization")
+        exp = transient_grid(Q, pi0, times, method="expm")
+        assert exp.method == "expm"
+        assert np.allclose(uni.distributions, exp.distributions, atol=1e-8)
+
+    def test_auto_falls_back_on_truncation(self, monkeypatch):
+        Q = birth_death_generator(8, 1.0, 1.0)
+        pi0 = delta(9, 0)
+        monkeypatch.setattr(engine_mod, "max_series_terms", lambda qt: 1)
+        grid = transient_grid(Q, pi0, [4.0], method="auto")
+        assert grid.method == "expm"
+        expected = pi0 @ scipy.linalg.expm(Q * 4.0)
+        assert np.allclose(grid.distributions[0], expected, atol=1e-8)
+
+    def test_uniformization_raises_structured_error(self, monkeypatch):
+        Q = birth_death_generator(8, 1.0, 1.0)
+        monkeypatch.setattr(engine_mod, "max_series_terms", lambda qt: 1)
+        with pytest.raises(SeriesTruncationError) as exc:
+            transient_grid(Q, delta(9, 0), [4.0], method="uniformization")
+        err = exc.value
+        assert err.terms >= 1 and 0.0 <= err.accumulated < 1.0 and err.qt > 0
+
+    def test_accumulate_unsupported_on_expm(self):
+        Q = birth_death_generator(4, 1.0, 1.0)
+        with pytest.raises(NotSupportedError):
+            transient_grid(Q, delta(5, 0), [1.0], method="expm", accumulate=True)

@@ -1,0 +1,209 @@
+"""Tests for transient trajectories, initial-state specs, and summaries."""
+
+import numpy as np
+import pytest
+
+from repro.markov.ctmc import steady_state_ctmc
+from repro.network.exact import build_generator, solve_exact
+from repro.network.statespace import NetworkStateSpace
+from repro.transient import (
+    initial_distribution,
+    parse_pi0_spec,
+    time_to_drain_from,
+    transient_trajectories,
+    warmup_time_from,
+)
+from repro.utils.errors import ValidationError
+from repro.workloads.bursty import bursty_phase
+from repro.workloads.tandem import tandem_model
+from repro.workloads.tpcw import tpcw_model
+
+
+@pytest.fixture(scope="module")
+def tandem():
+    return tandem_model(6)
+
+
+@pytest.fixture(scope="module")
+def tandem_space(tandem):
+    return NetworkStateSpace(tandem)
+
+
+@pytest.fixture(scope="module")
+def tandem_pi_inf(tandem, tandem_space):
+    return steady_state_ctmc(build_generator(tandem, tandem_space))
+
+
+class TestPi0Specs:
+    def test_parse_accepts_names_and_indices(self, tandem):
+        assert parse_pi0_spec(tandem, "loaded:q2") == ("loaded", 1)
+        assert parse_pi0_spec(tandem, "loaded:1") == ("loaded", 1)
+        assert parse_pi0_spec(tandem, "burst:q1") == ("burst", 0)
+        assert parse_pi0_spec(tandem, "steady") == ("steady", None)
+
+    @pytest.mark.parametrize(
+        "bad", ["", "loaded", "loaded:", "loaded:q9", "loaded:7", "woble:q1",
+                "steady:q1"]
+    )
+    def test_parse_rejects_bad_specs(self, tandem, bad):
+        with pytest.raises((ValidationError, KeyError)):
+            parse_pi0_spec(tandem, bad)
+
+    def test_loaded_is_a_point_mass_on_the_composition(
+        self, tandem, tandem_space
+    ):
+        pi0 = initial_distribution(tandem, tandem_space, "loaded:q1")
+        assert pi0.sum() == pytest.approx(1.0)
+        # every supported state has all 6 jobs at q1
+        for idx in np.nonzero(pi0 > 0)[0]:
+            pops, _ = tandem_space.decode(idx)
+            assert pops.tolist() == [6, 0]
+
+    def test_burst_conditions_the_stationary_law(
+        self, tandem, tandem_space, tandem_pi_inf
+    ):
+        pi0 = initial_distribution(
+            tandem, tandem_space, "burst:q1", pi_inf=tandem_pi_inf
+        )
+        assert pi0.sum() == pytest.approx(1.0)
+        phase = bursty_phase(tandem.stations[0].service)
+        for idx in np.nonzero(pi0 > 0)[0]:
+            _, phases = tandem_space.decode(idx)
+            assert phases[0] == phase
+        # conditional probabilities proportional to the stationary ones
+        support = pi0 > 0
+        ratio = tandem_pi_inf[support] / pi0[support]
+        assert np.allclose(ratio, ratio[0])
+
+    def test_burst_requires_multiphase_service(self, tandem, tandem_space,
+                                               tandem_pi_inf):
+        with pytest.raises(ValidationError):
+            initial_distribution(
+                tandem, tandem_space, "burst:q2", pi_inf=tandem_pi_inf
+            )
+
+    def test_steady_returns_pi_inf(self, tandem, tandem_space, tandem_pi_inf):
+        pi0 = initial_distribution(
+            tandem, tandem_space, "steady", pi_inf=tandem_pi_inf
+        )
+        assert np.allclose(pi0, tandem_pi_inf)
+
+
+class TestBurstyPhase:
+    def test_service_picks_slow_phase_arrival_picks_fast(self, tandem):
+        m = tandem.stations[0].service
+        slow = bursty_phase(m, role="service")
+        fast = bursty_phase(m, role="arrival")
+        rates = m.phase_event_rates
+        assert rates[slow] == rates.min()
+        assert rates[fast] == rates.max()
+
+    def test_rejects_unknown_role(self, tandem):
+        with pytest.raises(ValidationError):
+            bursty_phase(tandem.stations[0].service, role="whatever")
+
+
+class TestTrajectories:
+    def test_limits_match_exact_solver(self, tandem):
+        tr = transient_trajectories(
+            tandem, np.linspace(0, 400, 11), pi0="loaded:q1"
+        )
+        sol = solve_exact(tandem)
+        for k in range(2):
+            assert tr.queue_length[-1, k] == pytest.approx(
+                sol.mean_queue_length(k), abs=1e-6
+            )
+            assert tr.queue_length_inf[k] == pytest.approx(
+                sol.mean_queue_length(k), abs=1e-12
+            )
+            assert tr.utilization_inf[k] == pytest.approx(
+                sol.utilization(k), abs=1e-12
+            )
+            assert tr.throughput_inf[k] == pytest.approx(
+                sol.throughput(k), abs=1e-12
+            )
+        assert tr.distance_tv[-1] < 1e-6
+
+    def test_steady_start_stays_flat(self, tandem):
+        tr = transient_trajectories(
+            tandem, np.linspace(0, 30, 7), pi0="steady"
+        )
+        assert np.allclose(tr.queue_length, tr.queue_length_inf[None, :],
+                           atol=1e-9)
+        assert (tr.distance_tv < 1e-9).all()
+
+    def test_population_conserved_along_the_path(self, tandem):
+        tr = transient_trajectories(
+            tandem, np.linspace(0, 50, 9), pi0="loaded:q2"
+        )
+        totals = tr.queue_length.sum(axis=1)
+        assert np.allclose(totals, tandem.population, atol=1e-9)
+
+    def test_burst_response_starts_above_stationary(self):
+        net = tpcw_model(12)
+        # Think-time scale is 7s, so relaxation needs a long horizon.
+        tr = transient_trajectories(
+            net, np.linspace(0, 150, 16), pi0="burst:front"
+        )
+        front = net.station_index("front")
+        # Conditioning on the slow phase piles work at the front server.
+        assert tr.queue_length[0, front] > tr.queue_length_inf[front]
+        # ... and the excess relaxes monotonically-ish to stationarity.
+        assert tr.distance_tv[0] > tr.distance_tv[-1]
+        assert tr.queue_length[-1, front] == pytest.approx(
+            tr.queue_length_inf[front], rel=0.05
+        )
+
+    def test_accumulated_occupancy(self, tandem):
+        times = np.linspace(0, 20, 6)
+        tr = transient_trajectories(
+            tandem, times, pi0="loaded:q1", accumulate=True
+        )
+        assert tr.mean_occupancy is not None
+        # t=0 row is the instantaneous value
+        assert np.allclose(tr.mean_occupancy[0], tr.queue_length[0])
+        # time averages conserve the population too
+        assert np.allclose(tr.mean_occupancy.sum(axis=1), tandem.population,
+                           atol=1e-8)
+        # the running average lags the instantaneous drain from a loaded start
+        assert tr.mean_occupancy[-1, 0] > tr.queue_length[-1, 0]
+
+    def test_guard_rails(self, tandem):
+        with pytest.raises(MemoryError):
+            transient_trajectories(tandem, [1.0], max_states=3)
+        from repro.workloads.tandem import open_tandem_model
+        from repro.utils.errors import UnsupportedNetworkError
+
+        with pytest.raises(UnsupportedNetworkError):
+            transient_trajectories(open_tandem_model(), [1.0])
+
+
+class TestSummaries:
+    def test_drain_time_interpolates(self):
+        times = np.array([0.0, 1.0, 2.0, 3.0])
+        series = np.array([10.0, 6.0, 2.0, 1.0])
+        # stationary 1.0 -> excess0 = 9, 5% target = 1.45; first crossing
+        # lies in [2, 3]: t = 2 + (2 - 1.45) / (2 - 1) = 2.55
+        t = time_to_drain_from(times, series, 1.0, relaxation=0.05)
+        assert t == pytest.approx(2.55)
+
+    def test_drain_time_zero_when_not_loaded(self):
+        assert time_to_drain_from([0.0, 1.0], [1.0, 1.0], 2.0) == 0.0
+
+    def test_drain_time_nan_when_grid_too_short(self):
+        assert np.isnan(time_to_drain_from([0.0, 1.0], [10.0, 9.0], 1.0))
+
+    def test_warmup_time_first_crossing(self):
+        times = np.array([0.0, 10.0, 20.0])
+        tv = np.array([0.5, 0.02, 0.001])
+        t = warmup_time_from(times, tv, eps=0.01)
+        assert 10.0 < t < 20.0
+
+    def test_trajectory_methods(self, tandem):
+        tr = transient_trajectories(
+            tandem, np.linspace(0, 200, 41), pi0="loaded:q1"
+        )
+        drain = tr.time_to_drain(0)
+        warm = tr.warmup_time()
+        assert 0 < drain < 200
+        assert drain < warm < 200  # mixing is stricter than mean relaxation

@@ -1,0 +1,92 @@
+"""Property tests: uniformization vs the dense matrix exponential.
+
+The satellite contract: on random small generators,
+``transient_distribution(Q, pi0, t)`` matches ``pi0 @ expm(Q t)`` to 1e-9,
+and trajectories converge to ``steady_state_ctmc`` as ``t`` grows.  The
+grid engine must agree with the single-point kernel point for point.
+"""
+
+import numpy as np
+import scipy.linalg
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.markov import steady_state_ctmc, transient_distribution
+from repro.transient import transient_grid
+
+#: Off-diagonal rates drawn strictly positive: the generator is then
+#: irreducible, so a unique stationary law exists for the convergence leg.
+rates = st.floats(min_value=0.05, max_value=3.0)
+
+
+@st.composite
+def generators(draw, min_dim=2, max_dim=5):
+    """Random dense irreducible CTMC generators."""
+    n = draw(st.integers(min_value=min_dim, max_value=max_dim))
+    off = draw(
+        st.lists(rates, min_size=n * (n - 1), max_size=n * (n - 1))
+    )
+    Q = np.zeros((n, n))
+    it = iter(off)
+    for i in range(n):
+        for j in range(n):
+            if i != j:
+                Q[i, j] = next(it)
+    np.fill_diagonal(Q, -Q.sum(axis=1))
+    return Q
+
+
+@st.composite
+def distributions_for(draw, n):
+    """Random probability vectors of length ``n`` (bounded away from 0 sum)."""
+    raw = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1.0), min_size=n, max_size=n
+        ).filter(lambda xs: sum(xs) > 0.1)
+    )
+    v = np.asarray(raw)
+    return v / v.sum()
+
+
+@settings(max_examples=30, deadline=None)
+@given(data=st.data(), t=st.floats(min_value=0.0, max_value=5.0))
+def test_matches_dense_expm_to_1e9(data, t):
+    Q = data.draw(generators())
+    pi0 = data.draw(distributions_for(Q.shape[0]))
+    expected = pi0 @ scipy.linalg.expm(Q * t)
+    got = transient_distribution(Q, pi0, t)
+    assert np.allclose(got, expected, atol=1e-9)
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=st.data())
+def test_grid_agrees_with_single_point_kernel(data):
+    Q = data.draw(generators())
+    pi0 = data.draw(distributions_for(Q.shape[0]))
+    times = sorted(
+        data.draw(
+            st.lists(
+                st.floats(min_value=0.0, max_value=8.0), min_size=1, max_size=6
+            )
+        )
+    )
+    grid = transient_grid(Q, pi0, times)
+    for i, t in enumerate(times):
+        single = transient_distribution(Q, pi0, t)
+        assert np.allclose(grid.distributions[i], single, atol=1e-9)
+
+
+@settings(max_examples=20, deadline=None)
+@given(data=st.data())
+def test_trajectories_converge_to_steady_state(data):
+    Q = data.draw(generators())
+    pi0 = data.draw(distributions_for(Q.shape[0]))
+    pi_inf = steady_state_ctmc(Q)
+    # Rates are >= 0.05, so the spectral gap is bounded away from zero on
+    # this family; t = 400 is deep in the mixed regime for every draw.
+    pi_t = transient_distribution(Q, pi0, 400.0)
+    assert np.allclose(pi_t, pi_inf, atol=1e-6)
+    # And the distance is monotone along a doubling grid (contraction).
+    grid = transient_grid(Q, pi0, [25.0, 50.0, 100.0, 200.0, 400.0])
+    tv = 0.5 * np.abs(grid.distributions - pi_inf[None, :]).sum(axis=1)
+    assert (np.diff(tv) <= 1e-9).all()

@@ -1,0 +1,143 @@
+"""Registry integration: TransientResult, fingerprints, cache round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import SolverRegistry
+from repro.runtime.cache import ResultCache
+from repro.runtime.fingerprint import fingerprint_solve
+from repro.transient import TransientResult, simulated_trajectories
+from repro.workloads.tandem import tandem_model
+
+
+@pytest.fixture()
+def registry(tmp_path):
+    return SolverRegistry(cache=ResultCache(directory=tmp_path / "cache"))
+
+
+@pytest.fixture(scope="module")
+def tandem():
+    return tandem_model(6)
+
+
+TIMES = tuple(float(t) for t in np.linspace(0.0, 60.0, 13))
+
+
+class TestRegistryMethod:
+    def test_registered(self, registry):
+        assert "transient" in registry.methods
+        assert not registry.is_stochastic("transient")
+
+    def test_returns_transient_result(self, registry, tandem):
+        res = registry.solve(tandem, "transient", times=TIMES, pi0="loaded:q1")
+        assert isinstance(res, TransientResult)
+        assert res.method == "transient"
+        assert res.times == TIMES
+        assert len(res.queue_length_t) == 2
+        assert len(res.queue_length_t[0]) == len(TIMES)
+        assert res.fingerprint is not None
+
+    def test_trajectory_limits_match_exact(self, registry, tandem):
+        res = registry.solve(tandem, "transient", times=TIMES, pi0="loaded:q1")
+        exact = registry.solve(tandem, "exact")
+        for k in range(2):
+            assert res.queue_length_stationary(k) == pytest.approx(
+                exact.queue_length_point(k), abs=1e-9
+            )
+            assert res.extra["throughput_inf"][k] == pytest.approx(
+                exact.throughput_point(k), abs=1e-9
+            )
+
+    def test_default_grid_is_fingerprint_stable(self, registry, tandem):
+        a = registry.solve(tandem, "transient")
+        b = registry.solve(tandem, "transient")
+        assert a.fingerprint == b.fingerprint
+        assert b.from_cache
+
+    def test_memory_cache_replay(self, registry, tandem):
+        first = registry.solve(tandem, "transient", times=TIMES)
+        again = registry.solve(tandem, "transient", times=TIMES)
+        assert not first.from_cache and again.from_cache
+        assert isinstance(again, TransientResult)
+        assert again.queue_length_t == first.queue_length_t
+
+    def test_disk_cache_replay_reconstructs_type(self, tandem, tmp_path):
+        cache_dir = tmp_path / "shared"
+        first = SolverRegistry(cache=ResultCache(directory=cache_dir)).solve(
+            tandem, "transient", times=TIMES, pi0="burst:q1", accumulate=True
+        )
+        replay = SolverRegistry(cache=ResultCache(directory=cache_dir)).solve(
+            tandem, "transient", times=TIMES, pi0="burst:q1", accumulate=True
+        )
+        assert replay.from_cache
+        assert isinstance(replay, TransientResult)
+        assert replay.to_dict() == first.to_dict()
+        # nan-tolerant: a grid that ends before draining replays as nan too
+        np.testing.assert_array_equal(
+            replay.time_to_drain(0), first.time_to_drain(0)
+        )
+        assert replay.mean_occupancy_t == first.mean_occupancy_t
+
+    def test_distinct_options_distinct_fingerprints(self, registry, tandem):
+        base = registry.solve(tandem, "transient", times=TIMES)
+        other_pi0 = registry.solve(
+            tandem, "transient", times=TIMES, pi0="loaded:q2"
+        )
+        other_grid = registry.solve(tandem, "transient", times=TIMES[:-1])
+        assert len({base.fingerprint, other_pi0.fingerprint,
+                    other_grid.fingerprint}) == 3
+
+    def test_fingerprint_covers_pi0_and_times(self, tandem):
+        a = fingerprint_solve(tandem, "transient",
+                              {"times": TIMES, "pi0": "loaded:0"})
+        b = fingerprint_solve(tandem, "transient",
+                              {"times": TIMES, "pi0": "loaded:1"})
+        assert a != b
+
+    def test_open_network_rejected(self, registry):
+        from repro.utils.errors import UnsupportedNetworkError
+        from repro.workloads.tandem import open_tandem_model
+
+        with pytest.raises(UnsupportedNetworkError):
+            registry.solve(open_tandem_model(), "transient")
+
+
+class TestResultAccessors:
+    def test_round_trip_preserves_everything(self, registry, tandem):
+        res = registry.solve(tandem, "transient", times=TIMES, pi0="loaded:q1")
+        clone = TransientResult.from_dict(res.to_dict(), from_cache=True)
+        assert clone.times == res.times
+        assert clone.distance_tv == res.distance_tv
+        assert clone.utilization_t == res.utilization_t
+        assert clone.throughput_t == res.throughput_t
+        assert clone.station_names == res.station_names
+        assert clone.extra == res.extra
+
+    def test_trajectory_arrays(self, registry, tandem):
+        res = registry.solve(tandem, "transient", times=TIMES, pi0="loaded:q1")
+        q = res.queue_length_trajectory(0)
+        assert q.shape == (len(TIMES),)
+        assert q[0] == pytest.approx(6.0)
+        assert res.distance_array[0] > res.distance_array[-1]
+        # final-time point intervals mirror the trajectory tails
+        assert res.queue_length_point(0) == pytest.approx(q[-1])
+
+
+class TestSimCrossCheck:
+    def test_loaded_trajectory_agrees_with_simulation(self, registry, tandem):
+        """Analytic E[N_k(t)] within MC error of the ensemble average."""
+        times = np.linspace(0.0, 40.0, 9)
+        res = registry.solve(
+            tandem, "transient", times=tuple(float(t) for t in times),
+            pi0="loaded:q1",
+        )
+        sim = simulated_trajectories(
+            tandem, times, pi0="loaded:q1", replications=400, rng=123
+        )
+        analytic = np.column_stack(
+            [res.queue_length_trajectory(k) for k in range(2)]
+        )
+        se = sim.queue_length_std / np.sqrt(sim.replications)
+        # every grid point within 5 standard errors (and 5% of scale)
+        gap = np.abs(analytic - sim.queue_length)
+        assert (gap <= 5.0 * se + 0.05 * tandem.population).all()

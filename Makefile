@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: test lint docs docs-serve bench bench-large bench-transient smoke-open smoke-transient clean
+.PHONY: test lint docs docs-serve bench bench-large bench-transient smoke-open smoke-transient smoke-obs clean
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -46,6 +46,13 @@ smoke-open:
 # trajectory vs ensemble-averaged simulation (<= 5%).
 smoke-transient:
 	$(PYTHON) benchmarks/smoke_transient.py
+
+# End-to-end smoke of the observability layer: catalog scenario solved
+# through the CLI with --profile --trace-out, JSONL trace validated
+# against the schema, required spans + matvec/cache-hit counters
+# asserted cold and warm (see docs/observability.md).
+smoke-obs:
+	$(PYTHON) benchmarks/smoke_obs.py
 
 clean:
 	rm -rf site .repro-cache .pytest_cache

@@ -10,6 +10,14 @@ assembly/solve trajectory is reviewable alongside the code.
 Any reporter failure (unserializable entry, unwritable path, corrupt
 round-trip) raises — the CI bench job fails on reporter errors, never on
 timing noise.
+
+Timing sources: entries that time *instrumented* code paths go through
+:meth:`PerfReporter.record_snapshot`, which flattens a
+:class:`repro.obs.TelemetrySnapshot` (span-duration histograms, counters)
+into entry fields — one timing owner, no bespoke stopwatches.  Raw
+``time.perf_counter()`` remains legitimate only for code the telemetry
+layer cannot see: reference implementations and the
+enabled-vs-disabled overhead harness itself.
 """
 
 from __future__ import annotations
@@ -95,6 +103,39 @@ class PerfReporter:
                 )
         self.entries.append(entry)
         return entry
+
+    def record_snapshot(
+        self, case: str, snapshot, spans=(), counters=(), **fields
+    ) -> dict:
+        """Record an entry whose timings come from a telemetry snapshot.
+
+        For each name in ``spans`` the snapshot's
+        ``span.<name>.duration_s`` histogram is flattened into
+        ``t_<name>_s`` (total seconds) and ``n_<name>`` (call count);
+        each name in ``counters`` is copied verbatim (dots mapped to
+        underscores).  A missing span or counter raises — a bench asking
+        for timings the instrumentation did not produce is a harness
+        bug, not noise.  Extra ``fields`` ride along as in
+        :meth:`record`.
+        """
+        extracted: dict = {}
+        for name in spans:
+            hist = snapshot.histograms.get(f"span.{name}.duration_s")
+            if hist is None:
+                raise KeyError(
+                    f"perf entry {case!r}: snapshot has no span timings "
+                    f"for {name!r}"
+                )
+            slug = name.replace(".", "_")
+            extracted[f"t_{slug}_s"] = float(hist["sum"])
+            extracted[f"n_{slug}"] = int(hist["count"])
+        for name in counters:
+            if name not in snapshot.counters:
+                raise KeyError(
+                    f"perf entry {case!r}: snapshot has no counter {name!r}"
+                )
+            extracted[name.replace(".", "_")] = snapshot.counters[name]
+        return self.record(case, **extracted, **fields)
 
     def payload(self) -> dict:
         """The full JSON document."""

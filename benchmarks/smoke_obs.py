@@ -1,0 +1,112 @@
+#!/usr/bin/env python
+"""End-to-end smoke of the observability layer (CI's ``smoke-obs``).
+
+Drives the acceptance pipeline of the ``repro.obs`` PR in one shot:
+
+1. ``drain-bursty-tandem`` solved through the scenarios CLI with
+   ``--profile --trace-out`` must exit 0 and write a JSONL trace;
+2. the trace must validate against the versioned schema and contain the
+   registry + transient-engine spans with a positive matvec counter and
+   a cold-cache miss;
+3. a warm rerun must report ``cache_tier`` in ``{disk, memory}`` with
+   the registry cache-hit counter incremented;
+4. telemetry must be fully torn down afterwards (process default Null).
+
+Exit status 0 means profiling, tracing, and cache provenance work end
+to end exactly as ``docs/observability.md`` documents them.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import tempfile
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+if SRC.is_dir() and str(SRC) not in sys.path:  # run from a source checkout
+    sys.path.insert(0, str(SRC))
+
+SCENARIO = "drain-bursty-tandem"
+REQUIRED_SPANS = {"registry.solve", "transient.grid"}
+
+
+def _solve_with_trace(trace_path: str) -> list[dict]:
+    """One profiled CLI solve; returns the validated trace records."""
+    import repro.obs as obs
+    from repro.scenarios.cli import main
+
+    code = main([
+        "solve", SCENARIO, "--method", "transient",
+        "--profile", "--trace-out", trace_path,
+    ])
+    if code != 0:
+        print(f"FAIL: CLI solve exited {code}", file=sys.stderr)
+        raise SystemExit(1)
+    records = obs.load_trace(trace_path)
+    problems = obs.validate_trace(records)
+    if problems:
+        print("FAIL: trace does not validate: " + "; ".join(problems),
+              file=sys.stderr)
+        raise SystemExit(1)
+    return records
+
+
+def main() -> int:
+    """Run the smoke pipeline; returns a process exit code."""
+    tmp = tempfile.mkdtemp(prefix="repro-smoke-obs-")
+    os.environ["REPRO_CACHE_DIR"] = os.path.join(tmp, "cache")
+
+    import repro.obs as obs
+
+    # 1-2. Cold profiled solve: schema-valid trace, required spans,
+    # engine work observed, registry miss recorded.
+    cold = _solve_with_trace(os.path.join(tmp, "cold.jsonl"))
+    spans = {r["name"] for r in cold if r["type"] == "span"}
+    metrics = next(r for r in cold if r["type"] == "metrics")
+    if not REQUIRED_SPANS <= spans:
+        print(f"FAIL: trace spans {sorted(spans)} miss "
+              f"{sorted(REQUIRED_SPANS - spans)}", file=sys.stderr)
+        return 1
+    matvecs = metrics["counters"].get("transient.matvecs", 0)
+    if matvecs <= 0:
+        print("FAIL: transient.matvecs counter not observed",
+              file=sys.stderr)
+        return 1
+    if metrics["counters"].get("registry.cache_miss") != 1:
+        print(f"FAIL: cold run should record one registry.cache_miss, "
+              f"got {metrics['counters']}", file=sys.stderr)
+        return 1
+    root = next(r for r in cold if r["type"] == "span")
+    if root["attributes"].get("cache_tier") != "miss":
+        print(f"FAIL: cold solve span reports "
+              f"cache_tier={root['attributes'].get('cache_tier')!r}",
+              file=sys.stderr)
+        return 1
+    print(f"  cold solve: {len(spans)} span names, "
+          f"{matvecs} matvecs, cache_tier=miss")
+
+    # 3. Warm rerun: the hit tier and counter must surface in the trace.
+    warm = _solve_with_trace(os.path.join(tmp, "warm.jsonl"))
+    metrics = next(r for r in warm if r["type"] == "metrics")
+    root = next(r for r in warm if r["type"] == "span")
+    tier = root["attributes"].get("cache_tier")
+    hits = metrics["counters"].get("registry.cache_hit", 0)
+    if tier not in ("disk", "memory") or hits < 1:
+        print(f"FAIL: warm rerun reports cache_tier={tier!r}, "
+              f"registry.cache_hit={hits}", file=sys.stderr)
+        return 1
+    print(f"  warm solve: cache_tier={tier}, registry.cache_hit={hits}")
+
+    # 4. The CLI scopes telemetry to the invocation; nothing leaks.
+    if obs.get_telemetry().enabled:
+        print("FAIL: telemetry left enabled after the CLI returned",
+              file=sys.stderr)
+        return 1
+
+    print("smoke OK: profile/trace/provenance pipeline end to end")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

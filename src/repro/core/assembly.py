@@ -46,6 +46,7 @@ from dataclasses import dataclass, field
 import numpy as np
 import scipy.sparse as sp
 
+from repro import obs
 from repro.core.variables import VariableIndex
 from repro.network.model import Network
 from repro.utils.errors import NotSupportedError
@@ -1129,18 +1130,22 @@ class AssemblyCache:
     ) -> AssemblyPlan:
         """Cached plan for this network's topology (built on miss)."""
         key = topology_key(network, triples, include_redundant)
+        tele = obs.get_telemetry()
         plan = self._plans.get(key)
         if plan is not None:
             self.hits += 1
+            tele.counter("assembly_cache.hit")
             self._plans.move_to_end(key)
             return plan
         self.misses += 1
+        tele.counter("assembly_cache.miss")
         plan = AssemblyPlan(
             network, triples=triples, include_redundant=include_redundant
         )
         self._plans[key] = plan
         while len(self._plans) > self.maxsize:
             self._plans.popitem(last=False)
+            tele.counter("assembly_cache.eviction")
         return plan
 
     def __len__(self) -> int:

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 import numpy as np
 from scipy.optimize import linprog
 
+from repro import obs
 from repro.core.constraints import ConstraintSystem
 from repro.core.objectives import LinearMetric
 from repro.utils.errors import SolverError
@@ -76,8 +77,10 @@ def solve_lp_core(
     res = _solve(method)
     method_used = method
     if not res.success:
+        tele = obs.get_telemetry()
         alternate = "highs" if method == "highs-ipm" else "highs-ipm"
         for meth, options in ((alternate, None), ("highs", {"presolve": False})):
+            tele.counter("lp.retry_step")
             res = _solve(meth, options)
             method_used = meth
             if res.success:

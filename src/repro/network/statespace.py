@@ -25,6 +25,7 @@ from functools import cached_property
 
 import numpy as np
 
+from repro import obs
 from repro.markov.statespace import CompositionSpace
 from repro.network.model import Network, require_closed
 
@@ -218,9 +219,11 @@ class StateSpaceCache:
         hit = store.get(key)
         if hit is not None:
             self.hits += 1
+            obs.get_telemetry().counter("statespace_cache.hit")
             store.move_to_end(key)
             return hit
         self.misses += 1
+        obs.get_telemetry().counter("statespace_cache.miss")
         value = build()
         store[key] = value
         while len(store) > maxsize:
@@ -241,9 +244,11 @@ class StateSpaceCache:
         hit = self._comps.get(key)
         if hit is not None:
             self.hits += 1
+            obs.get_telemetry().counter("statespace_cache.hit")
             self._comps.move_to_end(key)
             return hit
         self.misses += 1
+        obs.get_telemetry().counter("statespace_cache.miss")
         value = CompositionSpace(population, parts)
         if value.states.size > self.max_cached_cells:
             return value  # too large to pin — hand it to the caller only

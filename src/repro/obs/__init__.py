@@ -1,0 +1,69 @@
+"""`repro.obs` — structured tracing, metrics, and profiling.
+
+The observability layer of the solver stack: :class:`Span` trees for
+tracing, a process-wide :class:`Telemetry` registry of counters / gauges
+/ histograms, JSONL trace export with a versioned schema, and an ASCII
+profiling report.  Disabled by default (:class:`NullTelemetry`), with
+measured enabled overhead tracked in ``BENCH_lp_scaling.json``.
+
+Quick profiling session::
+
+    import repro.obs as obs
+
+    tele = obs.enable()
+    registry.solve(network, "transient")
+    print(tele.summary())
+    obs.export_jsonl(tele, "trace.jsonl")
+    obs.disable()
+
+Or from the command line::
+
+    python -m repro.scenarios solve drain-bursty-tandem \\
+        --method transient --profile --trace-out trace.jsonl
+    python -m repro.obs report trace.jsonl
+
+See ``docs/observability.md`` for the span model, metric name tables,
+and the schema version policy.
+"""
+
+from repro.obs.core import (
+    NullTelemetry,
+    Span,
+    Telemetry,
+    TelemetrySnapshot,
+    clock,
+    disable,
+    enable,
+    get_telemetry,
+    set_telemetry,
+    use,
+)
+from repro.obs.report import render_summary
+from repro.obs.trace import (
+    TRACE_SCHEMA_VERSION,
+    export_jsonl,
+    load_trace,
+    span_records,
+    spans_from_records,
+    validate_trace,
+)
+
+__all__ = [
+    "TRACE_SCHEMA_VERSION",
+    "NullTelemetry",
+    "Span",
+    "Telemetry",
+    "TelemetrySnapshot",
+    "clock",
+    "disable",
+    "enable",
+    "export_jsonl",
+    "get_telemetry",
+    "load_trace",
+    "render_summary",
+    "set_telemetry",
+    "span_records",
+    "spans_from_records",
+    "use",
+    "validate_trace",
+]

@@ -1,0 +1,72 @@
+"""Command-line entry point: ``python -m repro.obs <report|validate>``.
+
+``report`` renders the ASCII span-tree / latency summary of a JSONL
+trace file; ``validate`` checks it against the trace schema and exits
+non-zero on problems (the check ``make smoke-obs`` relies on).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.obs.core import TelemetrySnapshot
+from repro.obs.report import render_summary
+from repro.obs.trace import load_trace, spans_from_records, validate_trace
+
+
+def _snapshot_from_records(records: "list[dict]") -> TelemetrySnapshot:
+    """Rebuild the metrics snapshot embedded in a trace's final record."""
+    for rec in records:
+        if rec.get("type") == "metrics":
+            return TelemetrySnapshot(
+                counters=rec.get("counters", {}),
+                gauges=rec.get("gauges", {}),
+                histograms=rec.get("histograms", {}),
+            )
+    return TelemetrySnapshot()
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    """Print the ASCII summary of a trace file."""
+    records = load_trace(args.trace)
+    problems = validate_trace(records)
+    if problems:
+        for p in problems:
+            print(f"warning: {p}", file=sys.stderr)
+    print(render_summary(spans_from_records(records), _snapshot_from_records(records)))
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    """Validate a trace file against the schema; exit 1 on problems."""
+    records = load_trace(args.trace)
+    problems = validate_trace(records)
+    if problems:
+        for p in problems:
+            print(f"invalid: {p}", file=sys.stderr)
+        return 1
+    n_spans = sum(1 for r in records if r.get("type") == "span")
+    print(f"valid trace: {len(records)} records, {n_spans} spans")
+    return 0
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """Parse arguments and dispatch to the report/validate subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Inspect repro.obs JSONL trace files.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    p_report = sub.add_parser("report", help="render the ASCII profiling summary")
+    p_report.add_argument("trace", help="path to a .jsonl trace file")
+    p_report.set_defaults(func=_cmd_report)
+    p_validate = sub.add_parser("validate", help="check a trace against the schema")
+    p_validate.add_argument("trace", help="path to a .jsonl trace file")
+    p_validate.set_defaults(func=_cmd_validate)
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

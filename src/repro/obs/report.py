@@ -1,0 +1,93 @@
+"""ASCII span-tree and latency-percentile reports.
+
+The profiling view printed by ``--profile`` and ``python -m repro.obs
+report``: an indented span tree with durations and hot counters, followed
+by per-span-name latency percentiles and the global counter table.
+"""
+
+from __future__ import annotations
+
+from repro.obs.core import Span, TelemetrySnapshot
+
+__all__ = ["render_summary"]
+
+#: Span counters shown inline in the tree (everything appears in the
+#: metrics tables regardless).
+_TREE_COUNTER_LIMIT = 4
+
+
+def _fmt_duration(seconds: "float | None") -> str:
+    """Human-scaled duration: us / ms / s."""
+    if seconds is None:
+        return "open"
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f}ms"
+    return f"{seconds:.3f}s"
+
+
+def _fmt_count(n: float) -> str:
+    """Counters print as ints when integral."""
+    return str(int(n)) if float(n).is_integer() else f"{n:.4g}"
+
+
+def _span_line(sp: Span, depth: int) -> str:
+    parts = [f"{'  ' * depth}{sp.name}  {_fmt_duration(sp.duration_s)}"]
+    if sp.status != "ok":
+        parts.append(f"[{sp.status}: {sp.error}]")
+    inline = list(sp.counters.items())[:_TREE_COUNTER_LIMIT]
+    if inline:
+        parts.append("(" + ", ".join(f"{k}={_fmt_count(v)}" for k, v in inline) + ")")
+    return "  ".join(parts)
+
+
+def render_summary(roots: "list[Span]", snapshot: TelemetrySnapshot) -> str:
+    """Render the full ASCII report for a span forest + metric snapshot."""
+    lines: list[str] = ["== span tree =="]
+    if not roots:
+        lines.append("  (no spans recorded)")
+
+    def visit(sp: Span, depth: int) -> None:
+        lines.append(_span_line(sp, depth))
+        for child in sp.children:
+            visit(child, depth + 1)
+
+    for root in roots:
+        visit(root, 0)
+
+    latencies = {
+        name[len("span."):-len(".duration_s")]: stats
+        for name, stats in snapshot.histograms.items()
+        if name.startswith("span.") and name.endswith(".duration_s")
+    }
+    if latencies:
+        lines.append("")
+        lines.append("== span latencies ==")
+        width = max(len(n) for n in latencies)
+        lines.append(
+            f"  {'span':<{width}}  {'count':>5}  {'p50':>10}  {'p90':>10}  "
+            f"{'p99':>10}  {'total':>10}"
+        )
+        for name in sorted(latencies):
+            s = latencies[name]
+            lines.append(
+                f"  {name:<{width}}  {s['count']:>5}  "
+                f"{_fmt_duration(s['p50']):>10}  {_fmt_duration(s['p90']):>10}  "
+                f"{_fmt_duration(s['p99']):>10}  {_fmt_duration(s['sum']):>10}"
+            )
+
+    if snapshot.counters:
+        lines.append("")
+        lines.append("== counters ==")
+        width = max(len(n) for n in snapshot.counters)
+        for name in sorted(snapshot.counters):
+            lines.append(f"  {name:<{width}}  {_fmt_count(snapshot.counters[name])}")
+
+    if snapshot.gauges:
+        lines.append("")
+        lines.append("== gauges ==")
+        width = max(len(n) for n in snapshot.gauges)
+        for name in sorted(snapshot.gauges):
+            lines.append(f"  {name:<{width}}  {snapshot.gauges[name]:.6g}")
+    return "\n".join(lines)

@@ -29,10 +29,9 @@ Metric requests use compact string specs::
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
+from repro import obs
 from repro.core.assembly import AssemblyCache, get_assembly_cache
 from repro.core.bounds import BoundsResult, Interval
 from repro.core.lp import _IPM_THRESHOLD, solve_lp_core
@@ -110,16 +109,19 @@ class BatchLPSolver:
         require_closed(network, "lp")
         self.network = network
         cache = assembly_cache if assembly_cache is not None else get_assembly_cache()
-        t0 = time.perf_counter()
-        plan_misses = cache.misses
-        plan = cache.plan_for(
-            network, triples=triples, include_redundant=include_redundant
-        )
-        self.plan_from_cache = cache.misses == plan_misses
-        self.vi = VariableIndex(network, triples=plan.triples)
-        self.system = plan.assemble(network, vi=self.vi)
-        self._bounds_array = np.column_stack([self.system.lb, self.system.ub])
-        self.build_time_s = time.perf_counter() - t0
+        with obs.get_telemetry().span("lp.assembly") as span:
+            t0 = obs.clock()
+            plan_misses = cache.misses
+            plan = cache.plan_for(
+                network, triples=triples, include_redundant=include_redundant
+            )
+            self.plan_from_cache = cache.misses == plan_misses
+            self.vi = VariableIndex(network, triples=plan.triples)
+            self.system = plan.assemble(network, vi=self.vi)
+            self._bounds_array = np.column_stack([self.system.lb, self.system.ub])
+            self.build_time_s = obs.clock() - t0
+            span.set("plan_from_cache", self.plan_from_cache)
+            span.set("n_variables", int(self.system.n_variables))
         if method == "auto":
             method = (
                 "highs" if self.system.n_variables <= _IPM_THRESHOLD else "highs-ipm"
@@ -141,19 +143,24 @@ class BatchLPSolver:
         if sense not in ("min", "max"):
             raise ValueError(f"sense must be 'min' or 'max', got {sense!r}")
         sign = 1.0 if sense == "min" else -1.0
-        t0 = time.perf_counter()
-        # min uses the caller's vector as-is; max negates into a scratch
-        # copy so cached coefficient vectors are never mutated.
-        res, method_used = solve_lp_core(
-            c if sense == "min" else np.negative(c),
-            self.system,
-            self.method,
-            self._bounds_array,
-        )
-        self.solve_time_s += time.perf_counter() - t0
-        self.n_solves += 1
-        if method_used != self.method:
-            self.n_fallbacks += 1
+        with obs.get_telemetry().span("lp.solve", metric=name, sense=sense) as span:
+            t0 = obs.clock()
+            # min uses the caller's vector as-is; max negates into a scratch
+            # copy so cached coefficient vectors are never mutated.
+            res, method_used = solve_lp_core(
+                c if sense == "min" else np.negative(c),
+                self.system,
+                self.method,
+                self._bounds_array,
+            )
+            self.solve_time_s += obs.clock() - t0
+            self.n_solves += 1
+            span.count("lp.solves")
+            span.count("lp.iterations", int(getattr(res, "nit", 0) or 0))
+            if method_used != self.method:
+                self.n_fallbacks += 1
+                span.count("lp.fallbacks")
+                span.set("method_used", method_used)
         if not res.success:
             raise SolverError(
                 f"LP {sense} of {name} failed: {res.message} (status {res.status})"

@@ -9,6 +9,12 @@ eviction, disk by file count with oldest-mtime eviction.
 
 Disk writes go through a temp file + :func:`os.replace` so concurrent sweep
 workers sharing one cache directory never observe a torn entry.
+
+Telemetry: when :mod:`repro.obs` is enabled, every lookup/store also bumps
+the global ``result_cache.*`` counters (``memory_hit`` / ``disk_hit`` /
+``miss`` / ``put`` / ``bytes_written`` / ``memory_eviction`` /
+``disk_eviction``); the per-instance :class:`CacheStats` stay authoritative
+for a single cache's lifetime stats.
 """
 
 from __future__ import annotations
@@ -19,6 +25,8 @@ import tempfile
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
+
+from repro import obs
 
 __all__ = ["CacheStats", "ResultCache", "default_cache_dir"]
 
@@ -99,10 +107,21 @@ class ResultCache:
 
     def get(self, key: str) -> dict | None:
         """Payload for ``key`` or None; disk hits are promoted to memory."""
+        return self.lookup(key)[0]
+
+    def lookup(self, key: str) -> "tuple[dict | None, str]":
+        """``(payload, tier)`` for ``key``; tier is memory / disk / miss.
+
+        Identical to :meth:`get` but also reports which tier served the
+        hit (the registry surfaces this as ``extra["cache_tier"]``).  Disk
+        hits are promoted to the memory tier.
+        """
+        tele = obs.get_telemetry()
         if key in self._memory:
             self._memory.move_to_end(key)
             self.stats.memory_hits += 1
-            return self._memory[key]
+            tele.counter("result_cache.memory_hit")
+            return self._memory[key], "memory"
         if self.directory is not None:
             path = self._path(key)
             try:
@@ -112,14 +131,18 @@ class ResultCache:
                 payload = None
             if payload is not None:
                 self.stats.disk_hits += 1
+                tele.counter("result_cache.disk_hit")
                 self._remember(key, payload)
-                return payload
+                return payload, "disk"
         self.stats.misses += 1
-        return None
+        tele.counter("result_cache.miss")
+        return None, "miss"
 
     def put(self, key: str, payload: dict) -> None:
         """Store ``payload`` in both tiers (atomic on disk)."""
         self.stats.puts += 1
+        tele = obs.get_telemetry()
+        tele.counter("result_cache.put")
         self._remember(key, payload)
         if self.directory is None:
             return
@@ -131,7 +154,8 @@ class ResultCache:
         fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
         try:
             with os.fdopen(fd, "w") as fh:
-                json.dump(payload, fh)
+                body = json.dumps(payload)
+                fh.write(body)
             os.replace(tmp, target)
         except OSError:
             try:
@@ -139,6 +163,7 @@ class ResultCache:
             except OSError:
                 pass
             raise
+        tele.counter("result_cache.bytes_written", len(body))
         if not existed:
             self._disk_count += 1
         if self._disk_count > self.max_disk_entries:
@@ -150,6 +175,7 @@ class ResultCache:
         while len(self._memory) > self.max_memory_entries:
             self._memory.popitem(last=False)
             self.stats.memory_evictions += 1
+            obs.get_telemetry().counter("result_cache.memory_eviction")
 
     def _evict_disk(self) -> None:
         assert self.directory is not None
@@ -163,6 +189,7 @@ class ResultCache:
                 victim.unlink()
                 self.stats.disk_evictions += 1
                 self._disk_count -= 1
+                obs.get_telemetry().counter("result_cache.disk_eviction")
             except OSError:
                 pass
 

@@ -12,19 +12,26 @@ Results are content-addressed (see :mod:`repro.runtime.fingerprint`) and
 transparently cached (see :mod:`repro.runtime.cache`); a cache hit replays
 the stored result, including the *original* compute time in
 ``wall_time_s`` — so timing columns of experiment tables stay meaningful on
-cached reruns while ``from_cache`` tells you nothing was recomputed.
+cached reruns while ``from_cache`` tells you nothing was recomputed.  Every
+registry solve additionally stamps ``extra["cache_hit"]`` (bool) and
+``extra["cache_tier"]`` (``"memory" | "disk" | "miss"``) on the returned
+result, so a hit is distinguishable from a merely fast solve; these
+provenance keys describe the invocation, not the result, and are stripped
+from cached payloads.  When telemetry is enabled (:mod:`repro.obs`) each
+solve runs under a ``registry.solve`` span carrying the same provenance
+plus fingerprint time and hit/miss/store counters.
 """
 
 from __future__ import annotations
 
 import inspect
 import math
-import time
 from dataclasses import dataclass, field, replace
 from typing import Callable
 
 import numpy as np
 
+from repro import obs
 from repro.baselines.aba import aba_bounds
 from repro.baselines.bjb import bjb_bounds
 from repro.baselines.decomposition import decomposition
@@ -42,6 +49,11 @@ from repro.sim.engine import simulate
 from repro.utils.errors import NotSupportedError, UnsupportedNetworkError
 
 __all__ = ["SolveResult", "SolverRegistry"]
+
+#: ``extra`` keys describing *this invocation's* cache interaction rather
+#: than the computed result; stripped from cached payloads so a replay is
+#: bit-identical to the original solve (each invocation re-stamps its own).
+_PROVENANCE_KEYS = ("cache_hit", "cache_tier")
 
 
 def _pt(value: float) -> Interval:
@@ -144,8 +156,12 @@ class SolveResult:
             "response_time": _iv_to_json(self.response_time),
             "wall_time_s": self.wall_time_s,
             "fingerprint": self.fingerprint,
-            # copied so cached payloads never alias a caller-visible dict
-            "extra": dict(self.extra),
+            # copied so cached payloads never alias a caller-visible dict;
+            # per-invocation cache provenance is stripped (re-stamped on
+            # every registry solve, so it must not be frozen into the cache)
+            "extra": {
+                k: v for k, v in self.extra.items() if k not in _PROVENANCE_KEYS
+            },
         }
 
     @classmethod
@@ -646,7 +662,14 @@ class SolverRegistry:
         cache: bool = True,
         **opts,
     ) -> SolveResult:
-        """Solve ``network`` with the named method, serving from cache if hit."""
+        """Solve ``network`` with the named method, serving from cache if hit.
+
+        Every returned result carries ``extra["cache_hit"]`` and
+        ``extra["cache_tier"]`` (``"memory"``/``"disk"``/``"miss"``); on a
+        hit ``wall_time_s`` replays the *original* compute time, so
+        provenance — not timing — is how a replay is distinguished from a
+        fast solve.
+        """
         try:
             adapter, stochastic, uncacheable, result_cls = self._adapters[method]
         except KeyError:
@@ -655,32 +678,49 @@ class SolverRegistry:
                 f"{', '.join(self.methods)}"
             ) from None
 
-        use_cache = cache and self.cache is not None
-        if stochastic and not isinstance(opts.get("rng"), (int, np.integer)):
-            use_cache = False  # unseeded runs must stay random
-        if any(opts.get(name) is not None for name in uncacheable):
-            use_cache = False  # side-effecting option (e.g. live taps)
-        key = None
-        if use_cache:
-            try:
-                key = fingerprint_solve(
-                    network, method, _normalized_opts(adapter, opts)
-                )
-            except FingerprintError:
-                use_cache = False  # non-serializable opts (taps, generators)
-        if use_cache and key is not None:
-            payload = self.cache.get(key)
-            if payload is not None:
-                return result_cls.from_dict(payload, from_cache=True)
+        tele = obs.get_telemetry()
+        with tele.span("registry.solve", method=method) as span:
+            use_cache = cache and self.cache is not None
+            if stochastic and not isinstance(opts.get("rng"), (int, np.integer)):
+                use_cache = False  # unseeded runs must stay random
+            if any(opts.get(name) is not None for name in uncacheable):
+                use_cache = False  # side-effecting option (e.g. live taps)
+            key = None
+            if use_cache:
+                t_fp = obs.clock()
+                try:
+                    key = fingerprint_solve(
+                        network, method, _normalized_opts(adapter, opts)
+                    )
+                except FingerprintError:
+                    use_cache = False  # non-serializable opts (taps, generators)
+                span.set("t_fingerprint_s", obs.clock() - t_fp)
+            tier = "miss"
+            if use_cache and key is not None:
+                payload, tier = self.cache.lookup(key)
+                if payload is not None:
+                    span.set("cache_hit", True)
+                    span.set("cache_tier", tier)
+                    span.count("registry.cache_hit")
+                    result = result_cls.from_dict(payload, from_cache=True)
+                    result.extra["cache_hit"] = True
+                    result.extra["cache_tier"] = tier
+                    return result
 
-        t0 = time.perf_counter()
-        result = adapter(network, **opts)
-        result = replace(
-            result, wall_time_s=time.perf_counter() - t0, fingerprint=key
-        )
-        if use_cache and key is not None:
-            self.cache.put(key, result.to_dict())
-        return result
+            span.set("cache_hit", False)
+            span.set("cache_tier", "miss")
+            span.count("registry.cache_miss")
+            t0 = obs.clock()
+            result = adapter(network, **opts)
+            result = replace(
+                result, wall_time_s=obs.clock() - t0, fingerprint=key
+            )
+            if use_cache and key is not None:
+                self.cache.put(key, result.to_dict())
+                span.count("registry.cache_store")
+            result.extra["cache_hit"] = False
+            result.extra["cache_tier"] = "miss"
+            return result
 
     def cache_stats(self) -> dict:
         """Hit/miss counters of the attached cache (empty dict if none)."""

@@ -23,13 +23,13 @@ paper's Figure 5 case-study network.
 from __future__ import annotations
 
 import os
-import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Mapping, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.network.model import Network
 from repro.runtime.cache import ResultCache, default_cache_dir
 from repro.runtime.fingerprint import fingerprint_sweep
@@ -192,10 +192,22 @@ def _get_worker_registry(cache_dir: "str | None") -> SolverRegistry:
     return _worker_registry
 
 
-def _solve_point(payload) -> SolveResult:
-    """Top-level worker entry (must be picklable for ProcessPoolExecutor)."""
-    network, method, opts, cache_dir = payload
-    return _get_worker_registry(cache_dir).solve(network, method, **opts)
+def _solve_point(payload) -> "tuple[SolveResult, dict | None]":
+    """Top-level worker entry (must be picklable for ProcessPoolExecutor).
+
+    When the parent sweep is profiling (``collect``), the solve runs under
+    a fresh worker-local :class:`~repro.obs.Telemetry` whose exported
+    state rides back with the result; the parent absorbs the states in
+    input order, so serial and parallel sweeps aggregate identically.
+    """
+    network, method, opts, cache_dir, collect = payload
+    registry = _get_worker_registry(cache_dir)
+    if not collect:
+        return registry.solve(network, method, **opts), None
+    tele = obs.Telemetry()
+    with obs.use(tele):
+        result = registry.solve(network, method, **opts)
+    return result, tele.export_state()
 
 
 class SweepRunner:
@@ -276,20 +288,34 @@ class SweepRunner:
         if workers is None:
             workers = min(len(networks), os.cpu_count() or 1)
 
-        t0 = time.perf_counter()
-        if workers <= 1 or len(networks) <= 1:
-            results = [
-                self.registry.solve(net, method, **o)
-                for net, o in zip(networks, per_point_opts)
-            ]
-        else:
-            payloads = [
-                (net, method, o, self.cache_dir)
-                for net, o in zip(networks, per_point_opts)
-            ]
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                results = list(pool.map(_solve_point, payloads))
-        self.last_wall_time_s = time.perf_counter() - t0
+        tele = obs.get_telemetry()
+        with tele.span(
+            "sweep.run", method=method, n_points=len(networks)
+        ) as span:
+            t0 = obs.clock()
+            if workers <= 1 or len(networks) <= 1:
+                span.set("workers", 1)
+                results = [
+                    self.registry.solve(net, method, **o)
+                    for net, o in zip(networks, per_point_opts)
+                ]
+            else:
+                span.set("workers", int(workers))
+                payloads = [
+                    (net, method, o, self.cache_dir, tele.enabled)
+                    for net, o in zip(networks, per_point_opts)
+                ]
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    pairs = list(pool.map(_solve_point, payloads))
+                results = [result for result, _ in pairs]
+                # Absorb worker telemetry in input order: counters merge
+                # additively and per-point spans attach under this sweep
+                # span, so serial and parallel runs aggregate identically.
+                for _, state in pairs:
+                    if state is not None:
+                        tele.absorb_state(state, parent=span)
+            span.count("sweep.points", len(networks))
+            self.last_wall_time_s = obs.clock() - t0
         return results
 
     def population_sweep(

@@ -19,6 +19,13 @@ Subcommands
 ``sweep NAME``
     Population sweep through :class:`~repro.runtime.sweep.SweepRunner`.
 
+``solve`` and ``sweep`` accept ``--profile`` (print the
+:mod:`repro.obs` span-tree/latency summary after the result tables) and
+``--trace-out FILE`` (write the JSONL trace; implies collection even
+without ``--profile``).  Telemetry warnings go to stderr, never stdout,
+so ``solve`` tables and ``validate --json`` output stay
+machine-parseable.
+
 Scenario parameters are overridden with repeated ``-p key=value`` flags
 (values parsed as YAML scalars, so ``-p scv=25`` is a float and
 ``-p burstiness=high`` a string).
@@ -40,6 +47,36 @@ from repro.utils.errors import UnsupportedNetworkError
 from repro.utils.tables import format_table
 
 __all__ = ["main"]
+
+
+def _warn(message: str) -> None:
+    """Telemetry/diagnostic warning on stderr — stdout stays parseable."""
+    print(f"warning: {message}", file=sys.stderr)
+
+
+def _telemetry_for(args: argparse.Namespace):
+    """A fresh Telemetry when ``--profile``/``--trace-out`` asks for one."""
+    if getattr(args, "profile", False) or getattr(args, "trace_out", None):
+        import repro.obs as obs
+
+        return obs.Telemetry()
+    return None
+
+
+def _emit_profile(args: argparse.Namespace, tele) -> None:
+    """Write the trace file and/or print the ASCII summary (post-solve)."""
+    if tele is None:
+        return
+    import repro.obs as obs
+
+    if getattr(args, "trace_out", None):
+        try:
+            obs.export_jsonl(tele, args.trace_out)
+        except OSError as exc:
+            _warn(f"could not write trace to {args.trace_out}: {exc}")
+    if getattr(args, "profile", False):
+        print()
+        print(tele.summary())
 
 
 def _parse_params(pairs: "list[str] | None") -> dict[str, Any]:
@@ -357,6 +394,8 @@ def _print_trajectory(res) -> None:
 
 def _cmd_solve(args: argparse.Namespace) -> int:
     """``solve``: one cached solve, metrics printed as a table."""
+    from contextlib import nullcontext
+
     from repro.runtime import get_registry
 
     net, label = _network_for(args)
@@ -370,16 +409,28 @@ def _cmd_solve(args: argparse.Namespace) -> int:
             opts["times"] = _parse_times(args.times)
         if args.pi0 is not None:
             opts["pi0"] = args.pi0
+    tele = _telemetry_for(args)
+    if tele is not None:
+        import repro.obs as obs
+
+        scope = obs.use(tele)
+    else:
+        scope = nullcontext()
     try:
-        res = get_registry().solve(
-            net, args.method, cache=not args.no_cache, **opts
-        )
+        with scope:
+            res = get_registry().solve(
+                net, args.method, cache=not args.no_cache, **opts
+            )
     except UnsupportedNetworkError as exc:
         raise SystemExit(f"solve: {exc}") from exc
     title = (
         f"{label}: {_describe_population(net)}, method={res.method}, "
         f"{res.wall_time_s:.3f}s"
-        + (" (cached)" if res.from_cache else "")
+        + (
+            f" (cached: {res.extra.get('cache_tier', 'memory')})"
+            if res.from_cache
+            else ""
+        )
     )
     print(format_table(
         ["station", "U.lo", "U.hi", "X.lo", "X.hi", "Q.lo", "Q.hi"],
@@ -397,6 +448,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         print("; ".join(tail))
     if res.method == "transient":
         _print_trajectory(res)
+    _emit_profile(args, tele)
     return 0
 
 
@@ -431,10 +483,20 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         base_seed=args.seed,
     )
     runner = SweepRunner()
+    tele = _telemetry_for(args)
+    if tele is not None:
+        import repro.obs as obs
+
+        scope = obs.use(tele)
+    else:
+        from contextlib import nullcontext
+
+        scope = nullcontext()
     try:
-        results = runner.run_spec(
-            spec, workers=args.workers, cache=not args.no_cache
-        )
+        with scope:
+            results = runner.run_spec(
+                spec, workers=args.workers, cache=not args.no_cache
+            )
     except UnsupportedNetworkError as exc:
         # Kind/method compatibility lives in the registry adapters; the
         # first sweep point surfaces the typed error and we exit cleanly
@@ -463,6 +525,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         ),
     ))
     print(f"sweep fingerprint: {spec.fingerprint()}")
+    _emit_profile(args, tele)
     return 0
 
 
@@ -474,6 +537,18 @@ def _add_param_flag(p: argparse.ArgumentParser) -> None:
     p.add_argument(
         "-p", "--param", action="append", metavar="KEY=VALUE",
         help="scenario parameter override (repeatable)",
+    )
+
+
+def _add_profile_flags(p: argparse.ArgumentParser) -> None:
+    """Attach the ``--profile``/``--trace-out`` telemetry flags."""
+    p.add_argument(
+        "--profile", action="store_true",
+        help="collect repro.obs telemetry and print the span/latency summary",
+    )
+    p.add_argument(
+        "--trace-out", metavar="FILE", default=None,
+        help="write the JSONL trace to FILE (implies telemetry collection)",
     )
 
 
@@ -523,6 +598,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="transient initial state: loaded:<st>|burst:<st>|steady")
     p.add_argument("--no-cache", action="store_true")
     _add_param_flag(p)
+    _add_profile_flags(p)
     p.set_defaults(func=_cmd_solve)
 
     p = sub.add_parser("sweep", help="population sweep via SweepRunner")
@@ -535,6 +611,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="base seed for stochastic methods")
     p.add_argument("--no-cache", action="store_true")
     _add_param_flag(p)
+    _add_profile_flags(p)
     p.set_defaults(func=_cmd_sweep)
 
     return parser

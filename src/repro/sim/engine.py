@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.maps.trace import MapSampler
 from repro.network.model import Network
 from repro.sim.taps import FlowTap, QueueTap
@@ -66,6 +67,9 @@ class SimResult:
     #: Per-station completion counts of *open-chain* jobs (None for closed
     #: runs); closed-chain completions are ``completions - completions_open``.
     completions_open: "np.ndarray | None" = None
+    #: Total calendar events processed (arrivals + completions, including
+    #: warmup) — the denominator of the event-loop rate.
+    n_events: int = 0
 
     def system_throughput(self, reference: int = 0) -> float:
         """System-level flow rate of the *primary* chain.
@@ -189,6 +193,10 @@ def simulate(
 ) -> SimResult:
     """Simulate the network for a fixed number of service completions.
 
+    When telemetry is enabled (:mod:`repro.obs`) the run executes under a
+    ``sim.run`` span recording processed-event / external-arrival /
+    sink-departure counters and the achieved event-loop rate.
+
     Parameters
     ----------
     network:
@@ -220,6 +228,42 @@ def simulate(
         Optional per-station initial service phases (default: each MAP's
         embedded-stationary draw).
     """
+    with obs.get_telemetry().span(
+        "sim.run", kind=network.kind, horizon_events=int(horizon_events)
+    ) as span:
+        t0 = obs.clock()
+        result = _simulate(
+            network,
+            horizon_events=horizon_events,
+            warmup_events=warmup_events,
+            rng=rng,
+            taps=taps,
+            initial_station=initial_station,
+            horizon_time=horizon_time,
+            initial_populations=initial_populations,
+            initial_phases=initial_phases,
+        )
+        elapsed = obs.clock() - t0
+        span.count("sim.events", result.n_events)
+        span.count("sim.external_arrivals", result.external_arrivals)
+        span.count("sim.sink_departures", result.sink_departures)
+        if elapsed > 0.0:
+            span.set("event_rate_per_s", result.n_events / elapsed)
+        return result
+
+
+def _simulate(
+    network: Network,
+    horizon_events: int,
+    warmup_events: int,
+    rng,
+    taps,
+    initial_station: int,
+    horizon_time: "float | None",
+    initial_populations,
+    initial_phases,
+) -> SimResult:
+    """Uninstrumented event-loop body of :func:`simulate`."""
     gen = as_rng(rng)
     M = network.n_stations
     kind = network.kind
@@ -349,6 +393,7 @@ def simulate(
         _schedule_arrival()
 
     total_completions = 0
+    n_events = 0
     stopped_on_time = False
     while total_completions < horizon_events:
         if not calendar:
@@ -357,6 +402,7 @@ def simulate(
             stopped_on_time = True
             break
         now, _, j, job = heapq.heappop(calendar)
+        n_events += 1
 
         if j == _ARRIVAL:
             if collecting:
@@ -453,4 +499,5 @@ def simulate(
             qlen_open_int / duration if kind != "closed" else None
         ),
         completions_open=completions_open if kind != "closed" else None,
+        n_events=n_events,
     )

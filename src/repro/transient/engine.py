@@ -29,6 +29,7 @@ from dataclasses import dataclass
 import numpy as np
 import scipy.sparse as sp
 
+from repro import obs
 from repro.markov.uniformization import (
     DEFAULT_SERIES_TOL,
     UniformizedOperator,
@@ -102,13 +103,14 @@ def _sweep_segment(
     offsets: np.ndarray,
     tol: float,
     accumulate: bool,
-) -> tuple[np.ndarray, "np.ndarray | None", int]:
+) -> tuple[np.ndarray, "np.ndarray | None", int, int]:
     """One shared Poisson sweep over ascending ``offsets`` from ``start_vec``.
 
-    Returns ``(points, point_integrals, n_matvecs)`` where ``points`` is
-    ``(len(offsets), S)`` and ``point_integrals`` the per-offset
-    ``integral_0^dt`` rows (or ``None``).  Offsets equal to zero are the
-    start vector itself.
+    Returns ``(points, point_integrals, n_matvecs, n_terms)`` where
+    ``points`` is ``(len(offsets), S)`` and ``point_integrals`` the
+    per-offset ``integral_0^dt`` rows (or ``None``); ``n_terms`` counts
+    the Poisson weights applied.  Offsets equal to zero are the start
+    vector itself.
     """
     n, S = len(offsets), len(start_vec)
     out = np.zeros((n, S))
@@ -117,7 +119,7 @@ def _sweep_segment(
     positive = qdt > 0.0
     if not positive.any():
         out[:] = start_vec
-        return out, integ, 0
+        return out, integ, 0, 0
 
     with np.errstate(divide="ignore"):
         log_qdt = np.where(positive, np.log(np.where(positive, qdt, 1.0)), -np.inf)
@@ -126,6 +128,7 @@ def _sweep_segment(
     vec = start_vec.copy()
     k = 0
     matvecs = 0
+    terms = 0
     max_terms = max_series_terms(float(qdt.max()))
     active = np.ones(n, dtype=bool)
     while active.any():
@@ -148,6 +151,7 @@ def _sweep_segment(
         idx = np.nonzero(active)[0]
         out[idx] += w[idx, None] * vec[None, :]
         acc[idx] += w[idx]
+        terms += 1
         if accumulate:
             # Erlang tail identity: integral_0^dt Poisson(k; q s) ds
             # = P[Pois(q dt) > k] / q = (1 - acc_after_this_term) / q.
@@ -163,7 +167,7 @@ def _sweep_segment(
         matvecs += 1
     # Normalize away the truncated tail (weights sum to acc_i <= 1).
     out /= np.where(acc > 0.0, acc, 1.0)[:, None]
-    return out, integ, matvecs
+    return out, integ, matvecs, terms
 
 
 def _grid_uniformization(
@@ -173,7 +177,7 @@ def _grid_uniformization(
     tol: float,
     accumulate: bool,
     segment_terms: int,
-) -> tuple[np.ndarray, "np.ndarray | None", int, int]:
+) -> tuple[np.ndarray, "np.ndarray | None", int, int, int]:
     """Checkpointed shared-sweep evaluation over an ascending time grid."""
     n = len(times_sorted)
     S = len(pi0)
@@ -184,9 +188,10 @@ def _grid_uniformization(
         dists[:] = pi0
         if accumulate:
             integrals[:] = times_sorted[:, None] * pi0[None, :]
-        return dists, integrals, 0, 1
+        return dists, integrals, 0, 1, 0
 
     matvecs = 0
+    n_terms = 0
     n_segments = 0
     start = 0
     ckpt_time = 0.0
@@ -203,9 +208,10 @@ def _grid_uniformization(
         ):
             stop += 1
         offsets = times_sorted[start:stop] - ckpt_time
-        out, integ, mv = _sweep_segment(op, ckpt_vec, offsets, tol, accumulate)
+        out, integ, mv, nt = _sweep_segment(op, ckpt_vec, offsets, tol, accumulate)
         dists[start:stop] = out
         matvecs += mv
+        n_terms += nt
         n_segments += 1
         if accumulate:
             integrals[start:stop] = ckpt_integral[None, :] + integ
@@ -213,7 +219,7 @@ def _grid_uniformization(
         ckpt_time = times_sorted[stop - 1]
         ckpt_vec = dists[stop - 1]
         start = stop
-    return dists, integrals, matvecs, n_segments
+    return dists, integrals, matvecs, n_segments, n_terms
 
 
 def _grid_expm(
@@ -297,35 +303,46 @@ def transient_grid(
             f"pi0 has length {len(pi0)} for a {op.size}-state generator"
         )
 
-    if method != "expm":
-        try:
-            dists, integrals, matvecs, n_segments = _grid_uniformization(
-                op, pi0, t_sorted, tol, accumulate, int(segment_terms)
+    with obs.get_telemetry().span(
+        "transient.grid", n_states=int(op.size), n_times=int(len(t_in))
+    ) as span:
+        if method != "expm":
+            try:
+                dists, integrals, matvecs, n_segments, n_terms = (
+                    _grid_uniformization(
+                        op, pi0, t_sorted, tol, accumulate, int(segment_terms)
+                    )
+                )
+                span.set("engine", "uniformization")
+                span.count("transient.matvecs", matvecs)
+                span.count("transient.segments", n_segments)
+                span.count("transient.poisson_terms", n_terms)
+                return TransientGrid(
+                    times=t_in,
+                    distributions=dists[inverse],
+                    integrals=None if integrals is None else integrals[inverse],
+                    q=op.q,
+                    n_matvecs=matvecs,
+                    n_segments=n_segments,
+                    method="uniformization",
+                )
+            except SeriesTruncationError:
+                if method == "uniformization" or accumulate:
+                    raise
+        if accumulate:
+            raise NotSupportedError(
+                "accumulated occupancy requires the uniformization kernel; "
+                "the expm fallback computes point distributions only"
             )
-            return TransientGrid(
-                times=t_in,
-                distributions=dists[inverse],
-                integrals=None if integrals is None else integrals[inverse],
-                q=op.q,
-                n_matvecs=matvecs,
-                n_segments=n_segments,
-                method="uniformization",
-            )
-        except SeriesTruncationError:
-            if method == "uniformization" or accumulate:
-                raise
-    if accumulate:
-        raise NotSupportedError(
-            "accumulated occupancy requires the uniformization kernel; "
-            "the expm fallback computes point distributions only"
+        dists = _grid_expm(op.Q, pi0, t_sorted)
+        span.set("engine", "expm")
+        span.count("transient.segments", len(t_sorted))
+        return TransientGrid(
+            times=t_in,
+            distributions=dists[inverse],
+            integrals=None,
+            q=0.0,
+            n_matvecs=0,
+            n_segments=len(t_sorted),
+            method="expm",
         )
-    dists = _grid_expm(op.Q, pi0, t_sorted)
-    return TransientGrid(
-        times=t_in,
-        distributions=dists[inverse],
-        integrals=None,
-        q=0.0,
-        n_matvecs=0,
-        n_segments=len(t_sorted),
-        method="expm",
-    )

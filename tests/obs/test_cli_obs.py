@@ -1,0 +1,89 @@
+"""CLI profiling flags and the stdout/stderr contract."""
+
+import json
+
+import pytest
+
+import repro.obs as obs
+from repro.scenarios.cli import main
+
+
+@pytest.fixture(autouse=True)
+def _isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    yield
+    obs.disable()
+
+
+class TestProfileFlag:
+    def test_solve_profile_prints_summary(self, capsys):
+        assert main(["solve", "bursty-tandem", "--population", "4", "--method", "mva",
+                     "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "== span tree ==" in out
+        assert "registry.solve" in out
+        assert "== counters ==" in out
+
+    def test_solve_without_profile_prints_no_summary(self, capsys):
+        assert main(["solve", "bursty-tandem", "--population", "4", "--method", "mva"]) == 0
+        out = capsys.readouterr().out
+        assert "== span tree ==" not in out
+
+    def test_trace_out_writes_valid_trace(self, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        assert main(["solve", "bursty-tandem", "--population", "4", "--method", "mva",
+                     "--trace-out", str(trace)]) == 0
+        records = obs.load_trace(trace)
+        assert obs.validate_trace(records) == []
+        names = {r["name"] for r in records if r["type"] == "span"}
+        assert "registry.solve" in names
+        # --trace-out alone stays quiet on stdout
+        assert "== span tree ==" not in capsys.readouterr().out
+
+    def test_warm_rerun_reports_cache_tier(self, capsys):
+        argv = ["solve", "bursty-tandem", "--population", "4", "--method", "mva", "--profile"]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "(cached: " in out
+        assert "registry.cache_hit" in out
+
+    def test_sweep_profile_shows_sweep_span(self, capsys):
+        assert main(["sweep", "bursty-tandem", "--populations", "2,3",
+                     "--method", "mva", "--workers", "1", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "sweep.run" in out
+        assert "sweep.points" in out
+
+    def test_profiling_does_not_leak_into_later_solves(self, capsys):
+        assert main(["solve", "bursty-tandem", "--population", "4", "--method", "mva",
+                     "--profile"]) == 0
+        assert not obs.get_telemetry().enabled
+
+
+class TestStderrContract:
+    def test_trace_write_failure_warns_on_stderr(self, tmp_path, capsys):
+        bad = tmp_path / "not-a-dir" / "t.jsonl"
+        assert main(["solve", "bursty-tandem", "--population", "4", "--method", "mva",
+                     "--trace-out", str(bad)]) == 0
+        captured = capsys.readouterr()
+        assert "warning:" in captured.err
+        assert "warning:" not in captured.out
+        assert "station" in captured.out  # the result table still printed
+
+    def test_validate_json_stdout_is_pure_json(self, capsys):
+        spec = (
+            "name: inline\npopulation: 3\nstations:\n"
+            "  - {name: a, service: {dist: exponential, rate: 2.0}}\n"
+            "  - {name: b, service: {dist: exponential, rate: 1.5}}\n"
+            "routing:\n  a: {b: 1.0}\n  b: {a: 1.0}\n"
+        )
+        assert main(["validate", spec, "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)  # must parse as-is
+        assert doc["valid"] is True
+
+    def test_validate_json_failure_is_pure_json(self, capsys):
+        assert main(["validate", "stations: [", "--json"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["valid"] is False

@@ -1,0 +1,225 @@
+"""repro.obs core: spans, telemetry registries, null fast path."""
+
+import threading
+
+import pytest
+
+import repro.obs as obs
+
+
+@pytest.fixture(autouse=True)
+def _disabled_after():
+    yield
+    obs.disable()
+
+
+class TestSpanTree:
+    def test_nesting_builds_a_tree(self):
+        tele = obs.Telemetry()
+        with tele.span("root") as root:
+            with tele.span("child-a"):
+                with tele.span("grandchild"):
+                    pass
+            with tele.span("child-b"):
+                pass
+        assert [c.name for c in root.children] == ["child-a", "child-b"]
+        assert root.children[0].children[0].name == "grandchild"
+        assert tele.roots == [root]
+        assert root.duration_s >= root.children[0].duration_s >= 0.0
+
+    def test_attributes_and_counters(self):
+        tele = obs.Telemetry()
+        with tele.span("work", method="lp") as sp:
+            sp.set("n", 3)
+            sp.count("widgets", 2)
+            sp.count("widgets", 3)
+        assert sp.attributes == {"method": "lp", "n": 3}
+        assert sp.counters == {"widgets": 5}
+        # span counters bubble into the global registry
+        assert tele.snapshot().counters == {"widgets": 5}
+
+    def test_exception_recorded_and_reraised(self):
+        tele = obs.Telemetry()
+        with pytest.raises(ValueError, match="boom"):
+            with tele.span("explode"):
+                raise ValueError("boom")
+        sp = tele.roots[0]
+        assert sp.status == "error"
+        assert "ValueError: boom" in sp.error
+        assert sp.end_s is not None  # still timed
+
+    def test_span_duration_histogram_recorded(self):
+        tele = obs.Telemetry()
+        for _ in range(3):
+            with tele.span("tick"):
+                pass
+        hist = tele.snapshot().histograms["span.tick.duration_s"]
+        assert hist["count"] == 3
+        assert hist["min"] <= hist["p50"] <= hist["max"]
+
+    def test_current_span_tracks_the_stack(self):
+        tele = obs.Telemetry()
+        assert tele.current_span() is None
+        with tele.span("outer") as outer:
+            assert tele.current_span() is outer
+            with tele.span("inner") as inner:
+                assert tele.current_span() is inner
+            assert tele.current_span() is outer
+        assert tele.current_span() is None
+
+    def test_threads_get_independent_span_stacks(self):
+        tele = obs.Telemetry()
+        seen = []
+
+        def work(i):
+            with tele.span(f"thread-{i}"):
+                seen.append(tele.current_span().name)
+
+        with tele.span("main"):
+            threads = [
+                threading.Thread(target=work, args=(i,)) for i in range(4)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            # worker spans are roots of their own threads, not children
+            # of this thread's open span
+            assert tele.current_span().name == "main"
+        assert sorted(seen) == [f"thread-{i}" for i in range(4)]
+        assert len(tele.roots) == 5
+
+
+class TestTelemetryRegistry:
+    def test_counters_gauges_histograms(self):
+        tele = obs.Telemetry()
+        tele.counter("n", 2)
+        tele.counter("n", 3)
+        tele.gauge("level", 0.5)
+        tele.gauge("level", 0.75)
+        for v in (1.0, 2.0, 3.0, 4.0):
+            tele.observe("lat", v)
+        snap = tele.snapshot()
+        assert snap.counters == {"n": 5}
+        assert snap.gauges == {"level": 0.75}
+        h = snap.histograms["lat"]
+        assert h["count"] == 4 and h["sum"] == 10.0
+        assert h["min"] == 1.0 and h["max"] == 4.0
+        assert h["p50"] == pytest.approx(2.5)
+
+    def test_concurrent_counters_sum_exactly(self):
+        tele = obs.Telemetry()
+
+        def bump():
+            for _ in range(1000):
+                tele.counter("hits")
+
+        threads = [threading.Thread(target=bump) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert tele.snapshot().counters["hits"] == 8000
+
+    def test_reset_clears_everything(self):
+        tele = obs.Telemetry()
+        tele.counter("n")
+        with tele.span("x"):
+            pass
+        tele.reset()
+        snap = tele.snapshot()
+        assert snap.counters == {} and snap.histograms == {}
+        assert tele.roots == []
+
+    def test_snapshot_json_round_trips(self):
+        import json
+
+        tele = obs.Telemetry()
+        tele.counter("n", 7)
+        tele.observe("lat", 0.25)
+        doc = json.loads(tele.snapshot().to_json())
+        assert doc["counters"] == {"n": 7}
+        assert doc["histograms"]["lat"]["count"] == 1
+
+    def test_export_absorb_round_trip(self):
+        worker = obs.Telemetry()
+        with worker.span("registry.solve") as sp:
+            sp.count("registry.cache_miss")
+        worker.observe("lat", 1.5)
+        parent = obs.Telemetry()
+        parent.counter("registry.cache_miss", 2)
+        with parent.span("sweep.run") as sweep:
+            parent.absorb_state(worker.export_state(), parent=sweep)
+        assert parent.snapshot().counters["registry.cache_miss"] == 3
+        assert [c.name for c in sweep.children] == ["registry.solve"]
+        assert parent.snapshot().histograms["lat"]["count"] == 1
+
+
+class TestProcessState:
+    def test_default_is_null(self):
+        assert not obs.get_telemetry().enabled
+
+    def test_enable_disable(self):
+        tele = obs.enable()
+        assert obs.get_telemetry() is tele and tele.enabled
+        obs.disable()
+        assert not obs.get_telemetry().enabled
+
+    def test_use_scopes_to_the_block(self):
+        tele = obs.Telemetry()
+        with obs.use(tele):
+            assert obs.get_telemetry() is tele
+        assert not obs.get_telemetry().enabled
+
+    def test_use_overrides_per_thread(self):
+        tele = obs.Telemetry()
+        other_thread_sees = []
+
+        def peek():
+            other_thread_sees.append(obs.get_telemetry().enabled)
+
+        with obs.use(tele):
+            t = threading.Thread(target=peek)
+            t.start()
+            t.join()
+        assert other_thread_sees == [False]  # override did not leak
+
+
+class TestNullTelemetry:
+    def test_all_probes_are_noops(self):
+        null = obs.NullTelemetry()
+        with null.span("anything", a=1) as sp:
+            sp.set("k", "v")
+            sp.count("n", 5)
+            assert sp.elapsed() == 0.0
+        null.counter("n")
+        null.gauge("g", 1.0)
+        null.observe("h", 1.0)
+        null.reset()
+        snap = null.snapshot()
+        assert snap.counters == {} and snap.gauges == {} and snap.histograms == {}
+        assert null.current_span() is None
+        assert "disabled" in null.summary()
+
+    def test_noop_under_concurrency(self):
+        null = obs.NullTelemetry()
+        errors = []
+
+        def hammer():
+            try:
+                for i in range(2000):
+                    with null.span("s") as sp:
+                        sp.count("n")
+                        sp.set("i", i)
+                    null.counter("c")
+                    null.observe("h", float(i))
+            except Exception as exc:  # pragma: no cover - the test's point
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        assert null.snapshot().counters == {}

@@ -1,0 +1,53 @@
+"""Lint: ad-hoc ``time.perf_counter()`` timing is confined to repro.obs.
+
+All instrumented code must go through :func:`repro.obs.clock` (or spans)
+so that timing has one owner and the NullTelemetry fast path stays the
+only disabled-mode cost.  ``benchmarks/`` is exempt — harness timing of
+the instrumentation itself cannot use the instrumentation.  A small
+grandfathered allowlist covers pre-observability files; do not add to
+it — new code should use ``repro.obs``.
+"""
+
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+
+#: Directories scanned for the forbidden pattern.
+SCANNED = ("src", "tests", "examples")
+
+#: Paths (relative to the repo root) where perf_counter is allowed.
+ALLOWED = frozenset({
+    # the one sanctioned timing source
+    "src/repro/obs/core.py",
+    # grandfathered: predates repro.obs; wall-clock demo printout
+    "examples/parallel_sweep.py",
+    # grandfathered: asserts an absolute latency budget, deliberately
+    # independent of the telemetry stack it might one day time
+    "tests/qbd/test_opennet.py",
+    # this lint necessarily names the pattern
+    "tests/obs/test_perf_counter_lint.py",
+})
+
+
+def test_perf_counter_only_in_obs_and_benchmarks():
+    offenders = []
+    for top in SCANNED:
+        for path in sorted((REPO / top).rglob("*.py")):
+            rel = path.relative_to(REPO).as_posix()
+            if rel in ALLOWED:
+                continue
+            for lineno, line in enumerate(
+                path.read_text().splitlines(), start=1
+            ):
+                if "perf_counter" in line:
+                    offenders.append(f"{rel}:{lineno}: {line.strip()}")
+    assert offenders == [], (
+        "time.perf_counter() outside repro.obs/benchmarks — use "
+        "repro.obs.clock() or a span instead:\n" + "\n".join(offenders)
+    )
+
+
+def test_allowlist_entries_still_exist():
+    # keep the allowlist from rotting into dead entries
+    for rel in ALLOWED:
+        assert (REPO / rel).is_file(), f"stale allowlist entry: {rel}"

@@ -1,0 +1,149 @@
+"""JSONL trace export: schema round-trip and validation."""
+
+import json
+
+import pytest
+
+import repro.obs as obs
+from repro.obs.trace import TRACE_SCHEMA_VERSION
+
+
+@pytest.fixture()
+def tele():
+    t = obs.Telemetry()
+    with t.span("registry.solve", method="lp") as root:
+        root.count("registry.cache_miss")
+        with t.span("lp.assembly"):
+            pass
+        with t.span("lp.solve") as solve:
+            solve.count("lp.iterations", 17)
+    t.gauge("level", 0.5)
+    t.observe("extra_hist", 2.0)
+    return t
+
+
+class TestExport:
+    def test_layout_header_spans_metrics(self, tele, tmp_path):
+        path = tmp_path / "t.jsonl"
+        n = obs.export_jsonl(tele, path)
+        records = obs.load_trace(path)
+        assert len(records) == n == 5  # header + 3 spans + metrics
+        assert records[0]["type"] == "header"
+        assert records[0]["schema"] == TRACE_SCHEMA_VERSION
+        assert records[-1]["type"] == "metrics"
+        assert records[-1]["counters"]["lp.iterations"] == 17
+        assert records[-1]["gauges"] == {"level": 0.5}
+
+    def test_every_line_is_json(self, tele, tmp_path):
+        path = tmp_path / "t.jsonl"
+        obs.export_jsonl(tele, path)
+        for line in path.read_text().splitlines():
+            json.loads(line)  # each line parses on its own
+
+    def test_parents_precede_children_with_dfs_ids(self, tele, tmp_path):
+        path = tmp_path / "t.jsonl"
+        obs.export_jsonl(tele, path)
+        spans = [r for r in obs.load_trace(path) if r["type"] == "span"]
+        assert [s["span_id"] for s in spans] == [1, 2, 3]
+        assert [s["parent_id"] for s in spans] == [None, 1, 1]
+        assert [s["name"] for s in spans] == [
+            "registry.solve", "lp.assembly", "lp.solve",
+        ]
+
+    def test_round_trip_rebuilds_the_tree(self, tele, tmp_path):
+        path = tmp_path / "t.jsonl"
+        obs.export_jsonl(tele, path)
+        roots = obs.spans_from_records(obs.load_trace(path))
+        assert len(roots) == 1
+        root = roots[0]
+        assert root.name == "registry.solve"
+        assert root.attributes == {"method": "lp"}
+        assert root.counters == {"registry.cache_miss": 1}
+        assert [c.name for c in root.children] == ["lp.assembly", "lp.solve"]
+        assert root.children[1].counters == {"lp.iterations": 17}
+        assert root.duration_s == pytest.approx(tele.roots[0].duration_s)
+
+    def test_double_round_trip_is_stable(self, tele, tmp_path):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        obs.export_jsonl(tele, a)
+        rebuilt = obs.Telemetry()
+        rebuilt.absorb_state(tele.export_state())
+        obs.export_jsonl(rebuilt, b)
+        spans_a = [r for r in obs.load_trace(a) if r["type"] == "span"]
+        spans_b = [r for r in obs.load_trace(b) if r["type"] == "span"]
+        assert spans_a == spans_b
+
+    def test_non_jsonable_attributes_are_coerced(self, tmp_path):
+        import numpy as np
+
+        tele = obs.Telemetry()
+        with tele.span("s") as sp:
+            sp.set("n_states", np.int64(12))
+            sp.set("ratio", np.float64(0.5))
+            sp.set("path", tmp_path)
+        path = tmp_path / "t.jsonl"
+        obs.export_jsonl(tele, path)
+        (span,) = [r for r in obs.load_trace(path) if r["type"] == "span"]
+        assert span["attributes"]["n_states"] == 12
+        assert span["attributes"]["ratio"] == 0.5
+        assert isinstance(span["attributes"]["path"], str)
+
+
+class TestValidate:
+    def _records(self, tele, tmp_path):
+        path = tmp_path / "t.jsonl"
+        obs.export_jsonl(tele, path)
+        return obs.load_trace(path)
+
+    def test_valid_trace_has_no_problems(self, tele, tmp_path):
+        assert obs.validate_trace(self._records(tele, tmp_path)) == []
+
+    def test_empty_trace_rejected(self):
+        assert obs.validate_trace([]) == ["trace is empty"]
+
+    def test_missing_header_rejected(self, tele, tmp_path):
+        records = self._records(tele, tmp_path)[1:]
+        assert any("header" in p for p in obs.validate_trace(records))
+
+    def test_unknown_schema_version_rejected(self, tele, tmp_path):
+        records = self._records(tele, tmp_path)
+        records[0]["schema"] = TRACE_SCHEMA_VERSION + 1
+        assert any(
+            "schema version" in p for p in obs.validate_trace(records)
+        )
+
+    def test_orphan_child_rejected(self, tele, tmp_path):
+        records = self._records(tele, tmp_path)
+        spans = [r for r in records if r["type"] == "span"]
+        spans[1]["parent_id"] = 999
+        assert any("parent_id" in p for p in obs.validate_trace(records))
+
+    def test_missing_metrics_rejected(self, tele, tmp_path):
+        records = self._records(tele, tmp_path)[:-1]
+        assert any("metrics" in p for p in obs.validate_trace(records))
+
+    def test_incomplete_span_rejected(self, tele, tmp_path):
+        records = self._records(tele, tmp_path)
+        next(r for r in records if r["type"] == "span").pop("duration_s")
+        assert any("missing fields" in p for p in obs.validate_trace(records))
+
+    def test_cli_validate_and_report(self, tele, tmp_path, capsys):
+        from repro.obs.__main__ import main
+
+        path = tmp_path / "t.jsonl"
+        obs.export_jsonl(tele, path)
+        assert main(["validate", str(path)]) == 0
+        assert "valid trace" in capsys.readouterr().out
+        assert main(["report", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "registry.solve" in out and "span latencies" in out
+
+    def test_cli_validate_fails_on_bad_trace(self, tmp_path, capsys):
+        from repro.obs.__main__ import main
+
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "span", "schema": 1}\n')
+        assert main(["validate", str(path)]) == 1
+        captured = capsys.readouterr()
+        assert "invalid" in captured.err
+        assert "invalid" not in captured.out  # problems go to stderr

@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: test lint docs docs-serve bench bench-large bench-transient smoke-open smoke-transient smoke-obs clean
+.PHONY: test lint docs docs-serve bench bench-large bench-transient bench-kron bench-kron-large smoke-open smoke-transient smoke-obs smoke-kron clean
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -35,6 +35,20 @@ bench-large:
 bench-transient:
 	REPRO_BENCH_PRESET=large $(PYTHON) -m pytest benchmarks/test_bench_transient.py -q
 
+# Kronecker-backend benchmark at the materializable quick shape: gates
+# the deterministic operator-vs-CSR memory win and the operator-backend
+# registry dispatch (writes the untracked BENCH_kron.quick.json).
+bench-kron:
+	REPRO_BENCH_PRESET=quick $(PYTHON) -m pytest benchmarks/test_bench_kron.py -q
+
+# Past-the-wall preset: kron-ring at (M=6, N=18) — 2,153,536 states,
+# beyond the 2,000,000-state dense guard — solved exactly and
+# transiently on the operator backend.  Regenerates the tracked
+# BENCH_kron.json acceptance record (takes several minutes: two Krylov
+# steady solves at 2.1M unknowns on one core).
+bench-kron-large:
+	REPRO_BENCH_PRESET=large $(PYTHON) -m pytest benchmarks/test_bench_kron.py -q
+
 # End-to-end smoke of an open-network scenario through the registry
 # cache: render the spec, lint it, solve via qbd twice (the second solve
 # must replay from the disk cache), and cross-check against the simulator.
@@ -53,6 +67,14 @@ smoke-transient:
 # asserted cold and warm (see docs/observability.md).
 smoke-obs:
 	$(PYTHON) benchmarks/smoke_obs.py
+
+# End-to-end smoke of the matrix-free Kronecker backend: a catalog-scale
+# ring past the dense storage wall solved exactly (Krylov) and
+# transiently with build_generator tripwired, disk-cache replay under
+# the other backend label, and a <= 5% simulation cross-check.  Takes
+# several minutes (two 2.1M-unknown Krylov solves on one core).
+smoke-kron:
+	$(PYTHON) benchmarks/smoke_kron.py
 
 clean:
 	rm -rf site .repro-cache .pytest_cache

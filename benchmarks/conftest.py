@@ -70,3 +70,14 @@ def transient_perf_report():
     trajectory is a reviewable artifact alongside the LP one.
     """
     yield from _reporter_session("transient", "REPRO_BENCH_TRANSIENT_JSON")
+
+
+@pytest.fixture(scope="session")
+def kron_perf_report():
+    """Reporter for the matrix-free Kronecker backend family.
+
+    Writes ``BENCH_kron.json`` (override with ``REPRO_BENCH_KRON_JSON``):
+    the operator-vs-materialized memory win and the past-the-wall
+    exact/transient solve record live here.
+    """
+    yield from _reporter_session("kron", "REPRO_BENCH_KRON_JSON")

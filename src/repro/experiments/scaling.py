@@ -15,14 +15,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
 from scipy.special import comb
 
 from repro.experiments.common import ExperimentResult, cache_stats_delta
-from repro.maps.fitting import fit_map2
 from repro.network.model import Network
-from repro.network.stations import queue
 from repro.runtime import get_registry
+from repro.workloads.ring import ring_model
 
 __all__ = ["ScalingConfig", "ring_of_maps", "run", "main"]
 
@@ -51,14 +49,13 @@ class ScalingConfig:
 
 
 def ring_of_maps(M: int, N: int) -> Network:
-    """Ring of M MAP(2) queues (the paper's 10-queue stress shape)."""
-    routing = np.zeros((M, M))
-    for j in range(M):
-        routing[j, (j + 1) % M] = 1.0
-    stations = [
-        queue(f"q{j}", fit_map2(1.0 + 0.1 * j, 4.0 + j, 0.5)) for j in range(M)
-    ]
-    return Network(stations, routing, N)
+    """Ring of M MAP(2) queues (the paper's 10-queue stress shape).
+
+    Delegates to :func:`repro.workloads.ring.ring_model` (the catalog's
+    ``kron-ring`` builder) so the scaling experiment and the Kronecker-
+    backend workload are one model family.
+    """
+    return ring_model(N, n_stations=M)
 
 
 def run(config: ScalingConfig | None = None) -> ExperimentResult:

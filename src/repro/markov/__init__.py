@@ -2,12 +2,15 @@
 
 The multi-time-point transient engine built on top of
 :class:`~repro.markov.uniformization.UniformizedOperator` lives in
-:mod:`repro.transient.engine`.
+:mod:`repro.transient.engine`; the matrix-free Kronecker generator kernel
+(:class:`~repro.markov.kronop.KroneckerGenerator`) extends both the
+steady-state and transient solvers past the CTMC storage wall.
 """
 
 from repro.markov.statespace import CompositionSpace
 from repro.markov.ctmc import steady_state_ctmc
 from repro.markov.dtmc import steady_state_dtmc
+from repro.markov.kronop import KroneckerGenerator, MoveTerm, StationFactor
 from repro.markov.uniformization import (
     UniformizedOperator,
     transient_distribution,
@@ -15,6 +18,9 @@ from repro.markov.uniformization import (
 
 __all__ = [
     "CompositionSpace",
+    "KroneckerGenerator",
+    "MoveTerm",
+    "StationFactor",
     "UniformizedOperator",
     "steady_state_ctmc",
     "steady_state_dtmc",

@@ -5,6 +5,13 @@ method replaces one balance equation with the normalization condition and
 factorizes once; the iterative method (GMRES + ILU) covers state spaces too
 large for a sparse LU — the regime where the paper's bounds are the only
 practical analytic option.
+
+``Q`` may also be a matrix-free :class:`scipy.sparse.linalg.LinearOperator`
+exposing ``matvec``/``rmatvec`` (e.g. the Kronecker generator of
+:mod:`repro.markov.kronop`): the ``"operator"`` method solves the
+rank-one-corrected singular system with preconditioned BiCGSTAB without
+ever assembling ``Q`` — the regime past the CTMC *storage* wall where even
+the matrix itself is prohibitive.
 """
 
 from __future__ import annotations
@@ -13,9 +20,14 @@ import numpy as np
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
-from repro.utils.errors import SolverError
+from repro.utils.errors import IterativeSolverError, SolverError
 
 __all__ = ["steady_state_ctmc"]
+
+#: BiCGSTAB iteration cap for the operator path.  Each iteration costs two
+#: operator applications; preconditioned solves on catalog-scale factors
+#: converge in 150-250 iterations, largely independent of state count.
+OPERATOR_MAXITER = 3000
 
 
 def _solve_direct(QT: sp.csr_matrix) -> np.ndarray:
@@ -44,12 +56,110 @@ def _solve_gmres(QT: sp.csr_matrix, tol: float) -> np.ndarray:
     x0 = np.full(S, 1.0 / S)
     pi, info = spla.gmres(A, b, x0=x0, M=M, rtol=tol, maxiter=2000, restart=100)
     if info != 0:
-        raise SolverError(f"GMRES failed to converge (info={info})")
+        residual = float(np.abs(A @ pi - b).max())
+        raise IterativeSolverError(
+            solver="gmres",
+            info=int(info),
+            iterations=int(info) if info > 0 else 2000,
+            residual=residual,
+            tolerance=tol,
+        )
+    return pi
+
+
+def _solve_operator(Q: spla.LinearOperator, tol: float) -> np.ndarray:
+    """Matrix-free stationary solve via rank-one-corrected BiCGSTAB.
+
+    ``pi @ Q = 0`` is singular with a one-dimensional null space; the
+    standard rank-one correction makes it definite without densifying:
+    with ``u = 1/S`` uniform, ``A x = Q^T x + u (1^T x)`` satisfies
+    ``A pi = u`` exactly for the (normalized) stationary vector, and ``A``
+    applications cost one ``rmatvec`` plus a vector axpy.  The block
+    preconditioner — when the operator offers one — inverts the per-
+    composition phase blocks of ``Q^T``, which capture all the fast local
+    phase dynamics.
+    """
+    S = Q.shape[0]
+    u = np.full(S, 1.0 / S)
+    n_applies = [0]
+
+    def apply_A(x: np.ndarray) -> np.ndarray:
+        n_applies[0] += 1
+        x = np.asarray(x, dtype=float)
+        return Q.rmatvec(x) + u * x.sum()
+
+    A = spla.LinearOperator((S, S), matvec=apply_A, dtype=np.float64)
+    M = None
+    precond = getattr(Q, "phase_block_preconditioner", None)
+    if precond is not None:
+        apply_M = precond(transpose=True)
+        if apply_M is not None:
+            M = spla.LinearOperator((S, S), matvec=apply_M, dtype=np.float64)
+    # BiCGSTAB's rtol is relative to ||b|| = ||u||; the post-solve residual
+    # check in steady_state_ctmc is the authoritative accuracy gate.
+    rtol = max(tol, 1e-10)
+    pi, info = spla.bicgstab(
+        A, u, x0=u.copy(), M=M, rtol=rtol, atol=0.0, maxiter=OPERATOR_MAXITER
+    )
+    if info != 0:
+        residual = float(np.abs(apply_A(pi) - u).max())
+        raise IterativeSolverError(
+            solver="bicgstab",
+            info=int(info),
+            iterations=n_applies[0],
+            residual=residual,
+            tolerance=rtol,
+        )
+    return pi
+
+
+def _steady_state_operator(
+    Q: spla.LinearOperator, method: str, tol: float
+) -> np.ndarray:
+    """Validate + solve + clean for a matrix-free generator."""
+    S = Q.shape[0]
+    if Q.shape[0] != Q.shape[1]:
+        raise ValueError(f"Q must be square, got {Q.shape}")
+    if method not in ("auto", "operator"):
+        raise ValueError(
+            f"method {method!r} requires an assembled matrix; matrix-free "
+            "generators support method='operator' (or 'auto')"
+        )
+    if S == 1:
+        return np.ones(1)
+    diag_fn = getattr(Q, "diagonal", None)
+    if not callable(diag_fn):
+        raise ValueError(
+            "matrix-free generators must expose a diagonal() method "
+            "(used for rate-scale validation and uniformization)"
+        )
+    diag = np.asarray(diag_fn())
+    scale = max(1.0, float(np.abs(diag).max()))
+    # Conservation check via one matvec: Q @ 1 = row sums.
+    rowsum = np.abs(Q.matvec(np.ones(S)))
+    if np.any(rowsum > 1e-8 * scale):
+        raise ValueError("Q rows must sum to zero (not a generator)")
+
+    pi = _solve_operator(Q, tol=max(tol, 1e-12))
+
+    pi = np.where(np.abs(pi) < 1e-15, 0.0, pi)
+    if np.any(pi < -1e-8):
+        raise SolverError(
+            f"stationary solve produced negative probabilities (min {pi.min():.3g})"
+        )
+    pi = np.clip(pi, 0.0, None)
+    total = pi.sum()
+    if not np.isfinite(total) or total <= 0:
+        raise SolverError("stationary solve produced a non-normalizable vector")
+    pi /= total
+    residual = np.abs(Q.rmatvec(pi)).max()
+    if residual > 1e-6 * scale:
+        raise SolverError(f"stationary residual too large: {residual:.3g}")
     return pi
 
 
 def steady_state_ctmc(
-    Q: "sp.spmatrix | np.ndarray",
+    Q: "sp.spmatrix | np.ndarray | spla.LinearOperator",
     method: str = "auto",
     tol: float = 1e-12,
 ) -> np.ndarray:
@@ -58,10 +168,15 @@ def steady_state_ctmc(
     Parameters
     ----------
     Q:
-        Generator matrix (rows sum to zero), sparse or dense.
+        Generator matrix (rows sum to zero), sparse or dense — or a
+        matrix-free :class:`~scipy.sparse.linalg.LinearOperator` with
+        ``matvec``/``rmatvec`` and a ``diagonal()`` method, which is
+        solved iteratively without assembling the matrix.
     method:
-        ``"direct"`` (sparse LU), ``"gmres"`` (ILU-preconditioned), or
-        ``"auto"`` (direct up to 300k states, GMRES beyond).
+        ``"direct"`` (sparse LU), ``"gmres"`` (ILU-preconditioned),
+        ``"operator"`` (matrix-free preconditioned BiCGSTAB; requires a
+        ``LinearOperator`` input), or ``"auto"`` (direct up to 300k
+        states, GMRES beyond; operator for ``LinearOperator`` inputs).
     tol:
         Convergence/validation tolerance.
 
@@ -69,7 +184,20 @@ def steady_state_ctmc(
     -------
     numpy.ndarray
         Probability vector ``pi`` with ``pi @ Q ~= 0`` and ``sum(pi) = 1``.
+
+    Raises
+    ------
+    IterativeSolverError
+        When an iterative method (GMRES or operator BiCGSTAB) stops
+        before reaching its residual target.
     """
+    if isinstance(Q, spla.LinearOperator) and not sp.issparse(Q):
+        return _steady_state_operator(Q, method=method, tol=tol)
+    if method == "operator":
+        raise ValueError(
+            "method='operator' requires a LinearOperator generator "
+            "(see repro.markov.kronop); got an assembled matrix"
+        )
     Qs = sp.csr_matrix(Q) if not sp.issparse(Q) else Q.tocsr()
     S = Qs.shape[0]
     if Qs.shape[0] != Qs.shape[1]:

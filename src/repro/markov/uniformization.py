@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 import scipy.sparse as sp
+import scipy.sparse.linalg as spla
 
 from repro.utils.errors import SeriesTruncationError
 
@@ -85,22 +86,44 @@ class UniformizedOperator:
     ``P`` — exactly the reuse the multi-time-point engine in
     :mod:`repro.transient.engine` is built on.
 
+    Also accepts a matrix-free :class:`scipy.sparse.linalg.LinearOperator`
+    exposing ``rmatvec`` and ``diagonal()`` (the Kronecker generator of
+    :mod:`repro.markov.kronop`): ``q`` comes from the operator's closed-
+    form diagonal and each step computes ``vec + (vec @ Q)/q`` — the same
+    floats as ``vec @ (I + Q/q)`` up to a single fused divide, with no
+    sparse ``P`` ever assembled.
+
     Attributes
     ----------
     Q:
-        The generator, in CSR form.
+        The generator: CSR form for matrix inputs, or the
+        ``LinearOperator`` itself for matrix-free inputs.
     q:
         Uniformization rate ``UNIFORMIZATION_MARGIN * max|Q_ii|`` (0.0 for
         the all-absorbing generator ``Q = 0``).
     P:
-        Sparse CSR transition matrix ``I + Q/q``; ``None`` when ``q == 0``.
+        Sparse CSR transition matrix ``I + Q/q``; ``None`` when ``q == 0``
+        or when the generator is matrix-free.
     """
 
-    def __init__(self, Q: "sp.spmatrix | np.ndarray") -> None:
+    def __init__(
+        self, Q: "sp.spmatrix | np.ndarray | spla.LinearOperator"
+    ) -> None:
+        if isinstance(Q, spla.LinearOperator) and not sp.issparse(Q):
+            if Q.shape[0] != Q.shape[1]:
+                raise ValueError(f"Q must be square, got {Q.shape}")
+            self.Q = Q
+            self._matrix_free = True
+            diag = np.asarray(Q.diagonal())
+            q = float(np.abs(diag).max()) if Q.shape[0] else 0.0
+            self.q = q * UNIFORMIZATION_MARGIN if q > 0.0 else 0.0
+            self.P = None
+            return
         Qs = sp.csr_matrix(Q) if not sp.issparse(Q) else Q.tocsr()
         if Qs.shape[0] != Qs.shape[1]:
             raise ValueError(f"Q must be square, got {Qs.shape}")
         self.Q = Qs
+        self._matrix_free = False
         q = float(np.abs(Qs.diagonal()).max()) if Qs.shape[0] else 0.0
         if q == 0.0:
             self.q = 0.0
@@ -114,8 +137,17 @@ class UniformizedOperator:
         """State-space dimension."""
         return self.Q.shape[0]
 
+    @property
+    def matrix_free(self) -> bool:
+        """Whether steps run through a matrix-free operator (no sparse P)."""
+        return self._matrix_free
+
     def step(self, vec: np.ndarray) -> np.ndarray:
         """One uniformized step ``vec @ P`` (identity when ``q == 0``)."""
+        if self._matrix_free:
+            if self.q == 0.0:
+                return vec
+            return vec + self.Q.rmatvec(vec) / self.q
         return vec if self.P is None else vec @ self.P
 
 

@@ -18,6 +18,7 @@ from repro.network.routing import (
 from repro.network.model import ClosedNetwork, Network, require_closed
 from repro.network.statespace import NetworkStateSpace, PhaseLayout, StateSpaceCache
 from repro.network.exact import ExactSolution, build_generator, solve_exact
+from repro.network.kron import kronecker_generator
 
 __all__ = [
     "Station",
@@ -40,5 +41,6 @@ __all__ = [
     "StateSpaceCache",
     "ExactSolution",
     "build_generator",
+    "kronecker_generator",
     "solve_exact",
 ]

@@ -30,7 +30,17 @@ from repro.markov.ctmc import steady_state_ctmc
 from repro.network.model import Network, require_closed
 from repro.network.statespace import NetworkStateSpace, expected_state_count
 
-__all__ = ["build_generator", "solve_exact", "ExactSolution"]
+__all__ = [
+    "OPERATOR_MAX_STATES",
+    "build_generator",
+    "solve_exact",
+    "ExactSolution",
+]
+
+#: Guard rail of the matrix-free backend.  The operator path never stores
+#: ``Q``, but the solve still holds O(10) state-length vectors plus the
+#: closed-form diagonal — past this many states even those are prohibitive.
+OPERATOR_MAX_STATES = 64_000_000
 
 
 def build_generator(
@@ -282,6 +292,8 @@ def solve_exact(
     method: str = "auto",
     max_states: int = 2_000_000,
     space: NetworkStateSpace | None = None,
+    backend: str = "dense",
+    operator_max_states: int = OPERATOR_MAX_STATES,
 ) -> ExactSolution:
     """Solve the network's CTMC exactly.
 
@@ -292,24 +304,39 @@ def solve_exact(
     method:
         Passed to :func:`repro.markov.steady_state_ctmc`.
     max_states:
-        Guard rail: refuse state spaces larger than this (the paper's
-        "prohibitive" regime) instead of exhausting memory.
+        Guard rail of the **dense** backend: refuse to assemble ``Q`` for
+        state spaces larger than this (the paper's "prohibitive" regime)
+        instead of exhausting memory.
     space:
         Optional prebuilt state space for this network.  Population sweeps
         pass one assembled from a
         :class:`~repro.network.statespace.StateSpaceCache` so the phase
         digit tables and masks are enumerated once per topology instead of
         once per point.
+    backend:
+        ``"dense"`` (assemble the sparse generator; the default, and the
+        historical behavior), ``"operator"`` (matrix-free Kronecker
+        generator + Krylov solve, never building ``Q``), or ``"auto"``
+        (dense within ``max_states``, operator beyond it up to
+        ``operator_max_states``).
+    operator_max_states:
+        Guard rail of the operator backend (the solve still holds O(10)
+        state-length vectors).
     """
     require_closed(network, "exact")
+    if backend not in ("auto", "dense", "operator"):
+        raise ValueError(f"unknown backend {backend!r}")
+    expected = expected_state_count(network) if space is None else space.size
+    if backend == "auto":
+        backend = "dense" if expected <= max_states else "operator"
+    limit = max_states if backend == "dense" else operator_max_states
     if space is None:
         # Guard with the closed-form count *before* enumerating: an
         # over-limit composition space would exhaust memory in __init__.
-        expected = expected_state_count(network)
-        if expected > max_states:
+        if expected > limit:
             raise MemoryError(
                 f"state space has {expected} states (> max_states="
-                f"{max_states}); use the LP bounds (repro.core) or "
+                f"{limit}); use the LP bounds (repro.core) or "
                 "simulation (repro.sim) instead"
             )
         space = NetworkStateSpace(network)
@@ -318,11 +345,17 @@ def solve_exact(
         or tuple(space.phase_dims) != tuple(network.phase_orders)
     ):
         raise ValueError("prebuilt state space does not match the network")
-    if space.size > max_states:
+    if space.size > limit:
         raise MemoryError(
-            f"state space has {space.size} states (> max_states={max_states}); "
+            f"state space has {space.size} states (> max_states={limit}); "
             "use the LP bounds (repro.core) or simulation (repro.sim) instead"
         )
-    Q = build_generator(network, space)
-    pi = steady_state_ctmc(Q, method=method)
+    if backend == "operator":
+        from repro.network.kron import kronecker_generator
+
+        op = kronecker_generator(network, space)
+        pi = steady_state_ctmc(op, method=method)
+    else:
+        Q = build_generator(network, space)
+        pi = steady_state_ctmc(Q, method=method)
     return ExactSolution(network=network, space=space, pi=pi)

@@ -50,10 +50,13 @@ from repro.utils.errors import NotSupportedError, UnsupportedNetworkError
 
 __all__ = ["SolveResult", "SolverRegistry"]
 
-#: ``extra`` keys describing *this invocation's* cache interaction rather
-#: than the computed result; stripped from cached payloads so a replay is
-#: bit-identical to the original solve (each invocation re-stamps its own).
-_PROVENANCE_KEYS = ("cache_hit", "cache_tier")
+#: ``extra`` keys describing *this invocation's* execution rather than the
+#: computed result; stripped from cached payloads so a replay is
+#: bit-identical to the original solve.  ``cache_hit``/``cache_tier`` are
+#: re-stamped on every registry solve; ``backend`` records which generator
+#: representation (dense matrix vs matrix-free operator) computed a result
+#: whose *values* are backend-invariant, so the cache must not fork on it.
+_PROVENANCE_KEYS = ("cache_hit", "cache_tier", "backend")
 
 
 def _pt(value: float) -> Interval:
@@ -261,18 +264,34 @@ def _solve_exact(
     reference: int = 0,
     ctmc_method: str = "auto",
     max_states: int = 2_000_000,
+    backend: str = "auto",
 ) -> SolveResult:
+    """``backend="auto"`` goes matrix-free past the ``max_states`` guard.
+
+    The dense path assembles the sparse generator as before; past the
+    guard the Kronecker operator solves the same CTMC without building
+    ``Q`` instead of raising ``MemoryError``.  Answers are backend-
+    invariant, so ``backend`` is excluded from the cache fingerprint and
+    recorded only as provenance in ``extra``.
+    """
     require_closed(network, "exact")
-    # Never enumerate (or cache) a space the guard would refuse anyway;
-    # solve_exact re-raises its MemoryError on the space=None path.
+    expected = expected_state_count(network)
+    # Never pin a space the dense guard would refuse into the process-wide
+    # cache: operator-scale spaces are built (and released) per solve.
     space = (
         _statespace_cache.space_for(network)
-        if expected_state_count(network) <= max_states
+        if expected <= max_states
         else None
     )
     sol = solve_exact(
-        network, method=ctmc_method, max_states=max_states, space=space
+        network,
+        method=ctmc_method,
+        max_states=max_states,
+        space=space,
+        backend=backend,
     )
+    if backend == "auto":
+        backend = "dense" if expected <= max_states else "operator"
     M = network.n_stations
     x = sol.system_throughput(reference)
     return _make_result(
@@ -283,7 +302,11 @@ def _solve_exact(
         [_pt(sol.mean_queue_length(k)) for k in range(M)],
         _pt(x),
         _pt(network.population / x),
-        extra={"n_states": int(sol.space.size), "exact": True},
+        extra={
+            "n_states": int(sol.space.size),
+            "exact": True,
+            "backend": backend,
+        },
     )
 
 
@@ -586,7 +609,7 @@ class SolverRegistry:
     def __init__(self, cache: ResultCache | None = None) -> None:
         self.cache = cache
         self._adapters: dict[
-            str, tuple[Callable, bool, tuple[str, ...], type]
+            str, tuple[Callable, bool, tuple[str, ...], type, tuple[str, ...]]
         ] = {}
         for name, fn, stochastic in (
             ("lp", _solve_lp, False),
@@ -605,6 +628,11 @@ class SolverRegistry:
                 # live taps record event epochs as a side effect; a cached
                 # replay could not re-record them, so such calls always run
                 uncacheable_opts=("taps",) if name == "sim" else (),
+                # dense and operator solves compute the same answers, so
+                # they must share one cache entry
+                fingerprint_invariant_opts=(
+                    ("backend",) if name == "exact" else ()
+                ),
             )
         # Imported here, not at module top: TransientResult subclasses
         # SolveResult, so repro.transient can only load once this module
@@ -612,7 +640,12 @@ class SolverRegistry:
         from repro.transient.result import TransientResult
         from repro.transient.solver import solve_transient
 
-        self.register("transient", solve_transient, result_cls=TransientResult)
+        self.register(
+            "transient",
+            solve_transient,
+            result_cls=TransientResult,
+            fingerprint_invariant_opts=("backend",),
+        )
 
     def register(
         self,
@@ -621,6 +654,7 @@ class SolverRegistry:
         stochastic: bool = False,
         uncacheable_opts: tuple[str, ...] = (),
         result_cls: type = SolveResult,
+        fingerprint_invariant_opts: tuple[str, ...] = (),
     ) -> None:
         """Add (or replace) a solver adapter.
 
@@ -633,12 +667,17 @@ class SolverRegistry:
         the transient solver's trajectory-carrying
         :class:`~repro.transient.result.TransientResult`) register theirs
         so a replay reconstructs the same type.
+        ``fingerprint_invariant_opts`` names options that change *how* a
+        result is computed but never its value (e.g. the exact/transient
+        ``backend``); they are stripped before fingerprinting so all
+        spellings share one cache entry.
         """
         self._adapters[name] = (
             adapter,
             stochastic,
             tuple(uncacheable_opts),
             result_cls,
+            tuple(fingerprint_invariant_opts),
         )
 
     @property
@@ -671,7 +710,9 @@ class SolverRegistry:
         fast solve.
         """
         try:
-            adapter, stochastic, uncacheable, result_cls = self._adapters[method]
+            adapter, stochastic, uncacheable, result_cls, fp_invariant = (
+                self._adapters[method]
+            )
         except KeyError:
             raise KeyError(
                 f"unknown solve method {method!r}; registered: "
@@ -689,9 +730,10 @@ class SolverRegistry:
             if use_cache:
                 t_fp = obs.clock()
                 try:
-                    key = fingerprint_solve(
-                        network, method, _normalized_opts(adapter, opts)
-                    )
+                    normalized = _normalized_opts(adapter, opts)
+                    for name in fp_invariant:
+                        normalized.pop(name, None)
+                    key = fingerprint_solve(network, method, normalized)
                 except FingerprintError:
                     use_cache = False  # non-serializable opts (taps, generators)
                 span.set("t_fingerprint_s", obs.clock() - t_fp)

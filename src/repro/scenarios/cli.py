@@ -409,6 +409,12 @@ def _cmd_solve(args: argparse.Namespace) -> int:
             opts["times"] = _parse_times(args.times)
         if args.pi0 is not None:
             opts["pi0"] = args.pi0
+    if args.backend is not None:
+        if args.method not in ("exact", "transient"):
+            raise SystemExit(
+                "--backend applies to --method exact/transient only"
+            )
+        opts["backend"] = args.backend
     tele = _telemetry_for(args)
     if tele is not None:
         import repro.obs as obs
@@ -596,6 +602,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="transient time grid: 't1,t2,...' or 'start:stop:num'")
     p.add_argument("--pi0", default=None,
                    help="transient initial state: loaded:<st>|burst:<st>|steady")
+    p.add_argument("--backend", default=None,
+                   choices=("auto", "dense", "operator"),
+                   help="generator representation for exact/transient: "
+                        "assembled sparse matrix or matrix-free Kronecker "
+                        "operator (auto picks by state-space size)")
     p.add_argument("--no-cache", action="store_true")
     _add_param_flag(p)
     _add_profile_flags(p)

@@ -28,6 +28,7 @@ from dataclasses import dataclass
 
 import numpy as np
 import scipy.sparse as sp
+import scipy.sparse.linalg as spla
 
 from repro import obs
 from repro.markov.uniformization import (
@@ -245,7 +246,7 @@ def _grid_expm(
 
 
 def transient_grid(
-    Q: "sp.spmatrix | np.ndarray",
+    Q: "sp.spmatrix | np.ndarray | spla.LinearOperator",
     pi0: np.ndarray,
     times,
     tol: float = DEFAULT_SERIES_TOL,
@@ -259,7 +260,11 @@ def transient_grid(
     Parameters
     ----------
     Q:
-        CTMC generator (rows sum to zero), sparse or dense.
+        CTMC generator (rows sum to zero), sparse or dense — or a
+        matrix-free :class:`~scipy.sparse.linalg.LinearOperator` with
+        ``rmatvec`` and ``diagonal()``, in which case the uniformization
+        sweep runs through the operator and the ``expm`` fallback (which
+        needs the assembled matrix) is unavailable.
     pi0:
         Initial probability vector.
     times:
@@ -329,6 +334,16 @@ def transient_grid(
             except SeriesTruncationError:
                 if method == "uniformization" or accumulate:
                     raise
+                if getattr(op, "matrix_free", False):
+                    # expm_multiply needs the assembled matrix; past the
+                    # storage wall the structured truncation error is the
+                    # honest answer, not a silent densification.
+                    raise
+        if getattr(op, "matrix_free", False):
+            raise NotSupportedError(
+                "the expm fallback requires an assembled generator; "
+                "matrix-free operators support uniformization only"
+            )
         if accumulate:
             raise NotSupportedError(
                 "accumulated occupancy requires the uniformization kernel; "

@@ -23,7 +23,8 @@ import numpy as np
 
 from repro.markov.ctmc import steady_state_ctmc
 from repro.markov.uniformization import DEFAULT_SERIES_TOL, UniformizedOperator
-from repro.network.exact import build_generator
+from repro.network.exact import OPERATOR_MAX_STATES, build_generator
+from repro.network.kron import kronecker_generator
 from repro.network.model import Network, require_closed
 from repro.network.statespace import (
     NetworkStateSpace,
@@ -179,6 +180,8 @@ def transient_trajectories(
     space: "NetworkStateSpace | None" = None,
     statespace_cache: "StateSpaceCache | None" = None,
     max_states: int = 2_000_000,
+    backend: str = "dense",
+    operator_max_states: int = OPERATOR_MAX_STATES,
 ) -> TransientTrajectory:
     """Solve the network's transient CTMC and project station metrics.
 
@@ -203,15 +206,29 @@ def transient_trajectories(
         Optional :class:`~repro.network.statespace.StateSpaceCache` used
         to assemble the space when ``space`` is not given.
     max_states:
-        Guard rail against enumerating a prohibitive joint space.
+        Guard rail of the dense backend against enumerating/assembling a
+        prohibitive joint space.
+    backend:
+        ``"dense"`` (assemble the sparse generator; the default),
+        ``"operator"`` (matrix-free Kronecker generator: the stationary
+        reference solves via Krylov and the uniformization sweep runs
+        through the operator, with ``Q`` never built), or ``"auto"``
+        (dense within ``max_states``, operator beyond).
+    operator_max_states:
+        Guard rail of the operator backend.
     """
     require_closed(network, "transient")
+    if backend not in ("auto", "dense", "operator"):
+        raise ValueError(f"unknown backend {backend!r}")
+    expected = expected_state_count(network) if space is None else space.size
+    if backend == "auto":
+        backend = "dense" if expected <= max_states else "operator"
+    limit = max_states if backend == "dense" else operator_max_states
     if space is None:
-        expected = expected_state_count(network)
-        if expected > max_states:
+        if expected > limit:
             raise MemoryError(
                 f"state space has {expected} states (> max_states="
-                f"{max_states}); transient analysis needs the full CTMC — "
+                f"{limit}); transient analysis needs the full CTMC — "
                 "use simulation (repro.transient.validation) instead"
             )
         space = (
@@ -219,8 +236,18 @@ def transient_trajectories(
             if statespace_cache is not None
             else NetworkStateSpace(network)
         )
-    Q = build_generator(network, space)
-    pi_inf = steady_state_ctmc(Q)
+    elif space.size > limit:
+        raise MemoryError(
+            f"state space has {space.size} states (> max_states={limit}); "
+            "transient analysis needs the full CTMC — use simulation "
+            "(repro.transient.validation) instead"
+        )
+    if backend == "operator":
+        Q = kronecker_generator(network, space)
+        pi_inf = steady_state_ctmc(Q, method="operator")
+    else:
+        Q = build_generator(network, space)
+        pi_inf = steady_state_ctmc(Q)
     pi0_vec = initial_distribution(network, space, pi0, pi_inf=pi_inf)
     operator = UniformizedOperator(Q)
     grid = transient_grid(
@@ -256,6 +283,7 @@ def transient_trajectories(
         mean_occupancy=occupancy,
         stats={
             "engine": grid.method,
+            "backend": backend,
             "n_matvecs": grid.n_matvecs,
             "n_segments": grid.n_segments,
             "q": grid.q,

@@ -18,6 +18,10 @@ round-trip the two-tier cache like every other method):
     Also report time-averaged occupancies.
 ``engine``
     ``auto`` / ``uniformization`` / ``expm`` kernel selection.
+``backend``
+    ``auto`` / ``dense`` / ``operator`` generator representation.  Not
+    part of the fingerprint: the answers are backend-invariant, so dense
+    and operator solves of one model share a cache entry.
 """
 
 from __future__ import annotations
@@ -83,8 +87,15 @@ def solve_transient(
     engine: str = "auto",
     accumulate: bool = False,
     max_states: int = 2_000_000,
+    backend: str = "auto",
 ) -> TransientResult:
-    """Adapter behind ``registry.solve(network, method="transient", ...)``."""
+    """Adapter behind ``registry.solve(network, method="transient", ...)``.
+
+    ``backend="auto"`` dispatches networks past the ``max_states`` guard
+    to the matrix-free operator path instead of raising; the answers are
+    backend-invariant, so ``backend`` is provenance (not part of the cache
+    fingerprint or the result payload).
+    """
     require_closed(network, "transient")
     grid = default_time_grid(network) if times is None else tuple(
         float(t) for t in times
@@ -98,6 +109,7 @@ def solve_transient(
         accumulate=accumulate,
         statespace_cache=_statespace_cache,
         max_states=max_states,
+        backend=backend,
     )
     M = network.n_stations
     latest = int(np.argmax(traj.times))  # grids keep the caller's order

@@ -5,6 +5,7 @@ from repro.utils.errors import (
     ValidationError,
     FeasibilityError,
     SolverError,
+    IterativeSolverError,
     NotSupportedError,
 )
 from repro.utils.rng import as_rng
@@ -15,6 +16,7 @@ __all__ = [
     "ValidationError",
     "FeasibilityError",
     "SolverError",
+    "IterativeSolverError",
     "NotSupportedError",
     "as_rng",
     "format_table",

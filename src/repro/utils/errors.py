@@ -52,6 +52,50 @@ class SeriesTruncationError(SolverError):
         return (type(self), (self.qt, self.terms, self.accumulated, self.tol))
 
 
+class IterativeSolverError(SolverError):
+    """A Krylov iteration stopped without reaching its tolerance.
+
+    Raised by :func:`repro.markov.steady_state_ctmc` when GMRES or the
+    operator-backed BiCGSTAB path exhausts its iteration budget (or breaks
+    down) before the residual target — structured so callers can inspect
+    how far the iteration got and retry with a different method or a
+    looser tolerance instead of parsing a message.
+    """
+
+    def __init__(
+        self,
+        solver: str,
+        info: int,
+        iterations: int,
+        residual: float,
+        tolerance: float,
+    ):
+        self.solver = str(solver)
+        self.info = int(info)
+        self.iterations = int(iterations)
+        self.residual = float(residual)
+        self.tolerance = float(tolerance)
+        detail = (
+            f"stalled after {self.iterations} operator applications"
+            if self.info > 0
+            else "broke down"
+        )
+        super().__init__(
+            f"{self.solver} failed to converge (info={self.info}): {detail} "
+            f"with residual {self.residual:.3e} > tolerance "
+            f"{self.tolerance:.3e}"
+        )
+
+    def __reduce__(self):
+        # Mirror SeriesTruncationError: rebuild from the structured fields
+        # so the exception survives pickling across sweep workers.
+        return (
+            type(self),
+            (self.solver, self.info, self.iterations, self.residual,
+             self.tolerance),
+        )
+
+
 class NotSupportedError(ReproError, NotImplementedError):
     """The requested combination of features is not supported by this method."""
 

@@ -16,6 +16,9 @@ Each generator returns a validated
 * :func:`central_server_model` — CPU + parallel disks with hyperexponential
   service and load-skewed routing;
 * :func:`random_3queue_model` — the random-model protocol of Table 1;
+* :func:`ring_model` — closed ring of MAP(2) queues, the state-space
+  stress shape that crosses the CTMC storage wall at modest sizes (the
+  matrix-free Kronecker backend's canonical workload);
 * :func:`bursty_service` — qualitative burstiness presets mapped onto
   (SCV, gamma2) pairs of the correlated-H2 MAP(2) family.
 """
@@ -38,6 +41,7 @@ from repro.workloads.tpcw import (
     tpcw_flow_taps,
     tpcw_model,
 )
+from repro.workloads.ring import ring_model
 from repro.workloads.webtier import open_web_tier_model
 
 __all__ = [
@@ -45,6 +49,7 @@ __all__ = [
     "BurstinessLevel",
     "bursty_service",
     "central_server_model",
+    "ring_model",
     "skewed_disk_probabilities",
     "open_tandem_model",
     "open_web_tier_model",

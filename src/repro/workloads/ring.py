@@ -1,0 +1,56 @@
+"""Ring-of-queues workloads: the state-space stress shape.
+
+A cycle of ``M`` MAP(2) queues with deterministic ``j -> j+1 mod M``
+routing.  The topology is deliberately boring — every station is visited
+equally — because its role is *scale*: the joint state space grows as
+``C(N+M-1, N) * 2^M``, so modest ``(M, N)`` pairs cross the CTMC storage
+wall (``ring_model(8, 9)`` has ~2.9M states) while staying cheap to
+simulate, making the ring the canonical workload for exercising the
+matrix-free Kronecker backend past the point where ``Q`` can be built.
+
+Station heterogeneity follows the scaling experiment's convention: queue
+``j`` serves with mean ``1 + 0.1 j`` and SCV ``4 + j`` at common lag-1
+autocorrelation decay ``gamma2 = 0.5`` — a graded bottleneck (the last
+queue is the slowest and burstiest) so the model has non-trivial structure
+at every size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.maps.fitting import fit_map2
+from repro.network.model import Network
+from repro.network.stations import queue
+from repro.utils.errors import ValidationError
+
+__all__ = ["ring_model"]
+
+
+def ring_model(
+    population: int,
+    n_stations: int = 8,
+    base_mean: float = 1.0,
+    mean_step: float = 0.1,
+    base_scv: float = 4.0,
+    scv_step: float = 1.0,
+    gamma2: float = 0.5,
+) -> Network:
+    """Closed ring of ``n_stations`` MAP(2) queues.
+
+    Queue ``j`` gets ``fit_map2(base_mean + mean_step * j,
+    base_scv + scv_step * j, gamma2)`` and routes all departures to queue
+    ``(j + 1) mod n_stations``.
+    """
+    M = int(n_stations)
+    if M < 2:
+        raise ValidationError(f"a ring needs at least 2 stations, got {M}")
+    routing = np.zeros((M, M))
+    for j in range(M):
+        routing[j, (j + 1) % M] = 1.0
+    stations = [
+        queue(f"q{j}", fit_map2(base_mean + mean_step * j,
+                                base_scv + scv_step * j, gamma2))
+        for j in range(M)
+    ]
+    return Network(stations, routing, population)

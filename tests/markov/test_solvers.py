@@ -1,11 +1,14 @@
 """Tests for CTMC/DTMC steady-state solvers and uniformization."""
 
+import pickle
+
 import numpy as np
 import pytest
 import scipy.sparse as sp
+import scipy.sparse.linalg as spla
 
 from repro.markov import steady_state_ctmc, steady_state_dtmc, transient_distribution
-from repro.utils.errors import SolverError, ValidationError
+from repro.utils.errors import IterativeSolverError, SolverError, ValidationError
 
 
 def birth_death_generator(n: int, lam: float, mu: float) -> np.ndarray:
@@ -59,6 +62,126 @@ class TestCTMCSteadyState:
     def test_rejects_unknown_method(self):
         with pytest.raises(ValueError):
             steady_state_ctmc(np.array([[-1.0, 1.0], [1.0, -1.0]]), method="magic")
+
+    def test_gmres_large_near_saturation(self):
+        # rho ~ 1 makes the chain nearly null-recurrent: the stationary
+        # law is almost flat and the system badly conditioned
+        Q = birth_death_generator(400, 0.999, 1.0)
+        direct = steady_state_ctmc(Q, method="direct")
+        gmres = steady_state_ctmc(sp.csr_matrix(Q), method="gmres", tol=1e-12)
+        assert np.abs(direct - gmres).max() < 1e-7
+
+    def test_gmres_multiscale_rates(self):
+        # rates spanning 4 orders of magnitude: stiff generator whose
+        # ILU-preconditioned solve must still reach the analytic law
+        n, mu = 60, 1.0
+        lam = 0.5
+        Q = np.zeros((n + 1, n + 1))
+        for i in range(n):
+            scale = 1.0 if i % 2 == 0 else 1e4
+            Q[i, i + 1] = lam * scale
+            Q[i + 1, i] = mu * scale
+        np.fill_diagonal(Q, -Q.sum(axis=1))
+        direct = steady_state_ctmc(Q, method="direct")
+        gmres = steady_state_ctmc(sp.csr_matrix(Q), method="gmres", tol=1e-12)
+        assert np.abs(direct - gmres).max() < 1e-8
+
+    def test_gmres_nonconvergence_is_structured(self, monkeypatch):
+        # force scipy to report a stall and assert the structured error
+        def stalled_gmres(A, b, x0=None, **kw):
+            return x0.copy(), 17
+
+        monkeypatch.setattr(spla, "gmres", stalled_gmres)
+        Q = sp.csr_matrix(birth_death_generator(30, 0.8, 1.0))
+        with pytest.raises(IterativeSolverError) as exc:
+            steady_state_ctmc(Q, method="gmres", tol=1e-10)
+        err = exc.value
+        assert isinstance(err, SolverError)
+        assert err.solver == "gmres"
+        assert err.info == 17
+        assert err.iterations == 17
+        assert err.residual > err.tolerance
+        clone = pickle.loads(pickle.dumps(err))
+        assert (clone.solver, clone.info, clone.residual) == (
+            err.solver, err.info, err.residual
+        )
+
+    def test_operator_method_requires_linear_operator(self):
+        Q = birth_death_generator(5, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            steady_state_ctmc(Q, method="operator")
+        with pytest.raises(ValueError):
+            steady_state_ctmc(sp.csr_matrix(Q), method="operator")
+
+
+class _MatrixBackedOperator(spla.LinearOperator):
+    """Dense generator wrapped behind the matrix-free protocol."""
+
+    def __init__(self, Q: np.ndarray):
+        self._Q = np.asarray(Q, dtype=float)
+        super().__init__(dtype=np.float64, shape=self._Q.shape)
+
+    def _matvec(self, x):
+        return self._Q @ np.asarray(x, dtype=float).reshape(-1)
+
+    def _rmatvec(self, x):
+        return self._Q.T @ np.asarray(x, dtype=float).reshape(-1)
+
+    def diagonal(self) -> np.ndarray:
+        return np.diag(self._Q)
+
+
+class TestOperatorSteadyState:
+    def test_linear_operator_input_matches_direct(self):
+        Q = birth_death_generator(50, 0.7, 1.0)
+        direct = steady_state_ctmc(Q, method="direct")
+        pi = steady_state_ctmc(_MatrixBackedOperator(Q))
+        assert np.abs(pi - direct).max() < 1e-8
+        assert pi.sum() == pytest.approx(1.0)
+
+    def test_explicit_operator_method_accepted(self):
+        Q = birth_death_generator(20, 0.5, 1.0)
+        pi = steady_state_ctmc(_MatrixBackedOperator(Q), method="operator")
+        assert np.abs(pi @ Q).max() < 1e-8
+
+    def test_rejects_non_operator_methods(self):
+        op = _MatrixBackedOperator(birth_death_generator(5, 1.0, 1.0))
+        with pytest.raises(ValueError):
+            steady_state_ctmc(op, method="direct")
+        with pytest.raises(ValueError):
+            steady_state_ctmc(op, method="gmres")
+
+    def test_requires_diagonal_method(self):
+        Q = birth_death_generator(10, 0.5, 1.0)
+        bare = spla.LinearOperator(
+            Q.shape, matvec=lambda x: Q @ x, rmatvec=lambda x: Q.T @ x,
+            dtype=np.float64,
+        )
+        with pytest.raises(ValueError, match="diagonal"):
+            steady_state_ctmc(bare)
+
+    def test_rejects_bad_rowsums(self):
+        bad = np.array([[-1.0, 0.5], [1.0, -1.0]])
+        with pytest.raises(ValueError):
+            steady_state_ctmc(_MatrixBackedOperator(bad))
+
+    def test_nonconvergence_is_structured(self, monkeypatch):
+        from repro.markov import ctmc
+
+        monkeypatch.setattr(ctmc, "OPERATOR_MAXITER", 1)
+        Q = birth_death_generator(80, 0.95, 1.0)
+        with pytest.raises(IterativeSolverError) as exc:
+            steady_state_ctmc(_MatrixBackedOperator(Q))
+        err = exc.value
+        assert isinstance(err, SolverError)
+        assert err.solver == "bicgstab"
+        assert err.iterations >= 1
+        assert err.residual >= 0.0
+        assert "converge" in str(err)
+        clone = pickle.loads(pickle.dumps(err))
+        assert (clone.solver, clone.info, clone.iterations) == (
+            err.solver, err.info, err.iterations
+        )
 
 
 class TestDTMCSteadyState:

@@ -111,9 +111,10 @@ class TestResultAccessors:
         assert clone.utilization_t == res.utilization_t
         assert clone.throughput_t == res.throughput_t
         assert clone.station_names == res.station_names
-        # cache provenance is per-invocation and stripped by to_dict();
-        # everything else in extra must round-trip exactly
-        provenance = {"cache_hit", "cache_tier"}
+        # cache provenance is per-invocation and stripped by to_dict()
+        # (backend is provenance too: dense and operator runs share one
+        # cache entry); everything else in extra must round-trip exactly
+        provenance = {"cache_hit", "cache_tier", "backend"}
         assert clone.extra == {
             k: v for k, v in res.extra.items() if k not in provenance
         }

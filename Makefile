@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: test lint docs docs-serve bench bench-large bench-transient bench-kron bench-kron-large smoke-open smoke-transient smoke-obs smoke-kron clean
+.PHONY: test lint docs docs-serve bench bench-large bench-transient bench-kron bench-kron-large smoke-open smoke-transient smoke-obs smoke-kron smoke-lp clean
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -75,6 +75,14 @@ smoke-obs:
 # several minutes (two 2.1M-unknown Krylov solves on one core).
 smoke-kron:
 	$(PYTHON) benchmarks/smoke_kron.py
+
+# End-to-end smoke of the persistent LP backend: M = 3 population sweep
+# solved on the persistent HiGHS backend vs the stateless scipy baseline
+# (agreement <= 1e-9), cross-N basis-lineage warm starts with a gated
+# iteration-count win, and byte-identical disk replay under the other
+# backend label (backend-invariant fingerprint).
+smoke-lp:
+	$(PYTHON) benchmarks/smoke_lp.py
 
 clean:
 	rm -rf site .repro-cache .pytest_cache

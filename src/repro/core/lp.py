@@ -1,10 +1,16 @@
-"""LP backend: min/max of a linear metric over the marginal polytope.
+"""LP front end: min/max of a linear metric over the marginal polytope.
 
 The paper reports interior-point solve times (10 MAP(2) queues, N = 50,
-about four minutes in 2008); we use scipy's HiGHS which solves the same
-programs in well under a second for the paper-scale models — the
-``benchmarks/test_bench_lp_scaling.py`` harness reproduces the scalability
-claim of Section 2.
+about four minutes in 2008); we solve the same programs through HiGHS —
+either the persistent warm-started backend of
+:mod:`repro.core.lpbackend` (the default whenever a HiGHS binding is
+importable) or the stateless ``scipy.optimize.linprog`` fallback.  The
+``benchmarks/test_bench_lp_scaling.py`` harness reproduces the
+scalability claim of Section 2.
+
+Backend choice is provenance, not identity: both paths answer with the
+same optima to LP tolerance, so cached results never fork on it (see
+:mod:`repro.runtime.registry`).
 """
 
 from __future__ import annotations
@@ -16,10 +22,16 @@ from scipy.optimize import linprog
 
 from repro import obs
 from repro.core.constraints import ConstraintSystem
+from repro.core.lpbackend import (
+    _IPM_THRESHOLD,  # noqa: F401  (re-exported; the single tuned definition)
+    PersistentLP,
+    choose_lp_method,
+    resolve_backend,
+)
 from repro.core.objectives import LinearMetric
 from repro.utils.errors import SolverError
 
-__all__ = ["LPSolution", "optimize_metric", "solve_lp_core"]
+__all__ = ["LPSolution", "choose_lp_method", "optimize_metric", "solve_lp_core"]
 
 
 @dataclass(frozen=True)
@@ -31,11 +43,9 @@ class LPSolution:
     sense: str  # "min" | "max"
     status: int
     n_iterations: int
-
-
-#: Above this variable count, interior point beats HiGHS's dual simplex on
-#: these highly degenerate balance polytopes by an order of magnitude.
-_IPM_THRESHOLD = 20_000
+    #: HiGHS algorithm that actually produced the optimum — the requested
+    #: method, or the retry-ladder step that succeeded.
+    method_used: str = ""
 
 
 def solve_lp_core(
@@ -93,6 +103,7 @@ def optimize_metric(
     metric: LinearMetric,
     sense: str,
     method: str = "auto",
+    backend: str = "auto",
 ) -> LPSolution:
     """Optimize ``metric`` over the constraint polytope.
 
@@ -105,10 +116,17 @@ def optimize_metric(
     sense:
         ``"min"`` or ``"max"``.
     method:
-        ``scipy.optimize.linprog`` method.  ``"auto"`` picks HiGHS simplex
-        for small systems and HiGHS interior point beyond
-        ``_IPM_THRESHOLD`` variables (mirroring the paper's interior-point
-        choice for its large instances).
+        HiGHS algorithm.  ``"auto"`` follows
+        :func:`~repro.core.lpbackend.choose_lp_method`: dual simplex for
+        small systems, interior point past ``_IPM_THRESHOLD`` variables
+        (mirroring the paper's interior-point choice for its large
+        instances).
+    backend:
+        ``"auto"`` (persistent HiGHS when a binding is importable, scipy
+        otherwise), ``"highs"``, or ``"scipy"``.  Batched callers should
+        use :class:`repro.runtime.batch.BatchLPSolver`, which keeps the
+        persistent model alive across solves; this one-shot API builds
+        and discards it.
 
     Raises
     ------
@@ -119,14 +137,31 @@ def optimize_metric(
     """
     if sense not in ("min", "max"):
         raise ValueError(f"sense must be 'min' or 'max', got {sense!r}")
+    # Exotic linprog methods (anything beyond auto/highs/highs-ipm) only
+    # exist on the scipy path; route them there regardless of backend.
+    if (
+        method in ("auto", "highs", "highs-ipm")
+        and resolve_backend(backend) == "highs"
+    ):
+        info = PersistentLP(system, method=method).solve(
+            metric.dense(system.n_variables), sense
+        )
+        return LPSolution(
+            value=float(info.value + metric.constant),
+            x=info.x,
+            sense=sense,
+            status=0,
+            n_iterations=info.n_iterations,
+            method_used=info.method_used,
+        )
     if method == "auto":
-        method = "highs" if system.n_variables <= _IPM_THRESHOLD else "highs-ipm"
+        method = choose_lp_method(system.n_variables)
     c = metric.dense(system.n_variables)
     sign = 1.0 if sense == "min" else -1.0
     if sense == "max":
         np.negative(c, out=c)  # flip in place: one dense vector per solve
 
-    res, _ = solve_lp_core(c, system, method)
+    res, method_used = solve_lp_core(c, system, method)
     if not res.success:
         raise SolverError(
             f"LP {sense} of {metric.name} failed: {res.message} (status {res.status})"
@@ -138,4 +173,5 @@ def optimize_metric(
         sense=sense,
         status=int(res.status),
         n_iterations=int(getattr(res, "nit", -1)),
+        method_used=method_used,
     )

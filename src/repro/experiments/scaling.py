@@ -84,11 +84,24 @@ def run(config: ScalingConfig | None = None) -> ExperimentResult:
                 int(global_states),
                 float(res.extra["t_build_s"]),
                 float(res.extra["t_solve_s"]),
+                # .get: cache entries written before the persistent
+                # backend landed replay without the method/iteration keys
+                str(res.extra.get("lp_method", "")),
+                int(res.extra.get("lp_iterations", 0)),
             ]
         )
     return ExperimentResult(
         title="LP scalability (Section 2 claim): marginal LP vs global balance",
-        headers=["M", "N", "lp_vars", "global_states", "t_build_s", "t_bounds_s"],
+        headers=[
+            "M",
+            "N",
+            "lp_vars",
+            "global_states",
+            "t_build_s",
+            "t_bounds_s",
+            "method",
+            "lp_iters",
+        ],
         rows=rows,
         metadata={
             "tier": "pairs (triples=False)",

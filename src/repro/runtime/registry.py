@@ -53,9 +53,10 @@ __all__ = ["SolveResult", "SolverRegistry"]
 #: ``extra`` keys describing *this invocation's* execution rather than the
 #: computed result; stripped from cached payloads so a replay is
 #: bit-identical to the original solve.  ``cache_hit``/``cache_tier`` are
-#: re-stamped on every registry solve; ``backend`` records which generator
-#: representation (dense matrix vs matrix-free operator) computed a result
-#: whose *values* are backend-invariant, so the cache must not fork on it.
+#: re-stamped on every registry solve; ``backend`` records which engine
+#: (dense matrix vs matrix-free operator for the CTMC methods; persistent
+#: HiGHS vs stateless scipy for the LP method) computed a result whose
+#: *values* are backend-invariant, so the cache must not fork on it.
 _PROVENANCE_KEYS = ("cache_hit", "cache_tier", "backend")
 
 
@@ -220,13 +221,23 @@ def _solve_lp(
     triples: bool | None = None,
     include_redundant: bool = False,
     lp_method: str = "auto",
+    backend: str = "auto",
 ) -> SolveResult:
+    """``backend="auto"`` solves on the persistent warm-started HiGHS
+    model when a binding is importable, else stateless scipy ``linprog``.
+
+    Both backends answer with the same optima to LP tolerance, so
+    ``backend`` is provenance (excluded from the cache fingerprint,
+    recorded in ``extra``) exactly like the exact/transient generator
+    backend.
+    """
     # kind guard lives in BatchLPSolver.__init__ (the only LP entry point)
     solver = BatchLPSolver(
         network,
         triples=triples,
         include_redundant=include_redundant,
         method=lp_method,
+        backend=backend,
     )
     bounds = solver.bound_specs(metrics, reference=reference)
     M = network.n_stations
@@ -245,10 +256,14 @@ def _solve_lp(
             "n_rows": solver.system.n_rows,
             "n_lp_solves": solver.n_solves,
             "lp_method": solver.method,
+            "lp_iterations": solver.n_iterations,
             "lp_fallbacks": solver.n_fallbacks,
+            "lp_warm_starts": solver.n_warm_starts,
+            "lp_basis_reuse": solver.n_basis_reuse,
             # population sweeps reuse one cached assembly plan per topology
             "assembly_plan_cached": solver.plan_from_cache,
             "certified": True,
+            "backend": solver.backend,
         },
     )
 
@@ -628,10 +643,11 @@ class SolverRegistry:
                 # live taps record event epochs as a side effect; a cached
                 # replay could not re-record them, so such calls always run
                 uncacheable_opts=("taps",) if name == "sim" else (),
-                # dense and operator solves compute the same answers, so
-                # they must share one cache entry
+                # backend changes how, never what: dense and operator
+                # generator solves — and persistent-HiGHS vs stateless
+                # scipy LP solves — must share one cache entry
                 fingerprint_invariant_opts=(
-                    ("backend",) if name == "exact" else ()
+                    ("backend",) if name in ("exact", "lp") else ()
                 ),
             )
         # Imported here, not at module top: TransientResult subclasses

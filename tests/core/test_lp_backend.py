@@ -65,6 +65,25 @@ class TestOptimizeMetric:
         m = throughput_metric(net, vi, 0)
         sol = optimize_metric(sys_c, m, "min", method="auto")
         assert sol.status == 0
+        assert sol.method_used == "highs"
+
+    def test_method_used_surfaced_on_both_backends(self, system):
+        net, vi, sys_c = system
+        m = throughput_metric(net, vi, 0)
+        for backend in ("auto", "scipy"):
+            sol = optimize_metric(
+                sys_c, m, "min", method="highs-ipm", backend=backend
+            )
+            assert sol.method_used == "highs-ipm"
+            assert sol.n_iterations >= 0
+
+    def test_backends_agree(self, system):
+        net, vi, sys_c = system
+        m = throughput_metric(net, vi, 0)
+        for sense in ("min", "max"):
+            a = optimize_metric(sys_c, m, sense, backend="auto")
+            b = optimize_metric(sys_c, m, sense, backend="scipy")
+            assert a.value == pytest.approx(b.value, abs=1e-9)
 
     def test_rejects_bad_sense(self, system):
         net, vi, sys_c = system

@@ -115,6 +115,54 @@ class TestProvenance:
         assert "cache_hit" not in payload.get("extra", {})
 
 
+class TestLPBackendInvariance:
+    """The LP ``backend`` option (persistent HiGHS vs stateless scipy)
+    follows the same contract as the exact/transient one."""
+
+    METRICS = ("throughput[0]", "system_throughput")
+
+    def test_same_fingerprint_across_backends(self, tmp_path, tandem):
+        fps = {}
+        for backend in ("scipy", "auto"):
+            reg = SolverRegistry(
+                cache=ResultCache(directory=tmp_path / backend)
+            )
+            res = reg.solve(
+                tandem, "lp", metrics=self.METRICS, backend=backend
+            )
+            assert res.extra["cache_hit"] is False
+            fps[backend] = res.fingerprint
+        assert fps["scipy"] == fps["auto"]
+
+    def test_scipy_replays_persistent_entry(self, registry, tandem):
+        first = registry.solve(tandem, "lp", metrics=self.METRICS)
+        assert first.extra["cache_hit"] is False
+        replay = registry.solve(
+            tandem, "lp", metrics=self.METRICS, backend="scipy"
+        )
+        assert replay.extra["cache_hit"] is True
+        assert payload_bytes(replay) == payload_bytes(first)
+
+    def test_backend_stamped_and_stripped(self, registry, tandem):
+        res = registry.solve(tandem, "lp", metrics=self.METRICS, backend="scipy")
+        assert res.extra["backend"] == "scipy"
+        assert "backend" not in res.to_dict().get("extra", {})
+
+    def test_fresh_lp_answers_agree(self, tmp_path, tandem):
+        results = {}
+        for backend in ("scipy", "auto"):
+            reg = SolverRegistry(
+                cache=ResultCache(directory=tmp_path / backend)
+            )
+            results[backend] = reg.solve(
+                tandem, "lp", metrics=self.METRICS, backend=backend
+            )
+        a = results["scipy"].throughput_interval(0)
+        b = results["auto"].throughput_interval(0)
+        assert abs(a.lower - b.lower) <= 1e-9
+        assert abs(a.upper - b.upper) <= 1e-9
+
+
 class TestNumericInvariance:
     def test_fresh_exact_answers_agree(self, tmp_path, tandem):
         results = {}

@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: test lint docs docs-serve bench bench-large bench-transient bench-kron bench-kron-large smoke-open smoke-transient smoke-obs smoke-kron smoke-lp clean
+.PHONY: test lint docs docs-serve bench bench-large bench-transient bench-fluid bench-fluid-large bench-kron bench-kron-large smoke-open smoke-transient smoke-obs smoke-kron smoke-lp smoke-fluid clean
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -34,6 +34,20 @@ bench-large:
 # BENCH_transient.json baseline in the large preset.
 bench-transient:
 	REPRO_BENCH_PRESET=large $(PYTHON) -m pytest benchmarks/test_bench_transient.py -q
+
+# Fluid-tier benchmark at the quick preset (N = 100,000): gates the
+# state-space tripwire, the N = 1 exactness margin, and the monotone
+# doubling-population convergence (writes the untracked
+# BENCH_fluid.quick.json).
+bench-fluid:
+	REPRO_BENCH_PRESET=quick $(PYTHON) -m pytest benchmarks/test_bench_fluid.py -q
+
+# Million-user preset: the PR's acceptance record — stress scenario at
+# N = 1,000,000 solved steady + transient in well under a second with
+# the CTMC state space tripwired.  Regenerates the tracked
+# BENCH_fluid.json baseline.
+bench-fluid-large:
+	REPRO_BENCH_PRESET=large $(PYTHON) -m pytest benchmarks/test_bench_fluid.py -q
 
 # Kronecker-backend benchmark at the materializable quick shape: gates
 # the deterministic operator-vs-CSR memory win and the operator-backend
@@ -83,6 +97,13 @@ smoke-kron:
 # backend label (backend-invariant fingerprint).
 smoke-lp:
 	$(PYTHON) benchmarks/smoke_lp.py
+
+# End-to-end smoke of the fluid tier: million-user steady solve with a
+# disk-cache replay, N = 1 exactness vs the CTMC solver (<= 1e-3),
+# monotone doubling-population convergence, and a <= 5% simulation
+# cross-check deep in saturation.
+smoke-fluid:
+	$(PYTHON) benchmarks/smoke_fluid.py
 
 clean:
 	rm -rf site .repro-cache .pytest_cache

@@ -73,6 +73,17 @@ def transient_perf_report():
 
 
 @pytest.fixture(scope="session")
+def fluid_perf_report():
+    """Reporter for the phase-aware fluid tier.
+
+    Writes ``BENCH_fluid.json`` (override with ``REPRO_BENCH_FLUID_JSON``):
+    the million-user seconds-scale solve record, the small-N exactness
+    margin, and the doubling-population convergence trajectory live here.
+    """
+    yield from _reporter_session("fluid", "REPRO_BENCH_FLUID_JSON")
+
+
+@pytest.fixture(scope="session")
 def kron_perf_report():
     """Reporter for the matrix-free Kronecker backend family.
 

@@ -1,0 +1,163 @@
+"""Fluid-tier benchmark: millions of users in seconds, exact at N = 1.
+
+Three claims are gated here, the structural ones deterministic so CI can
+enforce them without timing noise:
+
+* **million-user solve** — the ``stress-large-population`` scenario at the
+  preset population (``large``: N = 1,000,000) must solve steady *and*
+  transient through the registry with the CTMC state space never
+  enumerated (tripwired) and a phase-space dimension independent of N.
+  Wall time rides along in the JSON record — the committed large preset
+  is the "solved in seconds" acceptance record — with a generous ceiling
+  so a pathological regression (e.g. accidental state enumeration slipping
+  past the tripwire) still fails loudly.
+* **small-N exactness** — at N = 1 the fluid point must match the exact
+  CTMC solver within 1e-3 relative on throughput, queue lengths, and
+  utilizations across the closed catalog scenarios.
+* **monotone convergence** — past the saturation knee, the relative gap
+  between exact and fluid throughput must shrink monotonically as the
+  population doubles (the scaled-sequence validation protocol).
+
+The committed ``BENCH_fluid.json`` is regenerated via
+``make bench-fluid-large``.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from bench_reporting import bench_preset
+from repro import obs
+from repro.fluid import FluidResult
+from repro.runtime import SolverRegistry
+from repro.runtime.cache import ResultCache
+from repro.scenarios import get_scenario
+
+#: Population of the stress scenario per preset.  ``large`` is the PR's
+#: headline claim: one million users, states never enumerated.
+_POPULATION = {"quick": 100_000, "large": 1_000_000}
+
+CLOSED_SCENARIOS = ("bursty-tandem", "fig5-case-study", "tpcw")
+SMALL_N_RTOL = 1e-3
+#: Wall ceiling for steady + transient at the preset population.  The
+#: measured cost is milliseconds; the ceiling only exists to fail a
+#: catastrophic regression deterministically.
+WALL_CEILING_S = 30.0
+#: Doubling sequence for the convergence case (bursty-tandem knee: 1.95).
+CONVERGENCE_POPULATIONS = (2, 4, 8, 16, 32)
+
+
+@pytest.fixture()
+def registry(tmp_path):
+    return SolverRegistry(cache=ResultCache(directory=tmp_path / "cache"))
+
+
+def test_million_user_solve(registry, fluid_perf_report, monkeypatch):
+    """Steady + transient fluid solve at the preset population, state
+    space tripwired, telemetry-timed."""
+    import repro.network.statespace as statespace
+
+    def boom(*args, **kwargs):  # pragma: no cover - tripwire
+        raise AssertionError("fluid bench enumerated a CTMC state space")
+
+    monkeypatch.setattr(statespace.NetworkStateSpace, "__init__", boom)
+
+    population = _POPULATION[bench_preset()]
+    net = get_scenario("stress-large-population").network(population=population)
+    tele = obs.Telemetry()
+    t0 = time.perf_counter()
+    with obs.use(tele):
+        steady = registry.solve(net, "fluid")
+        times = tuple(float(t) for t in np.linspace(0.0, 50.0, 11))
+        transient = registry.solve(
+            net, "fluid", times=times, pi0="loaded:q1"
+        )
+    t_wall = time.perf_counter() - t0
+
+    assert isinstance(steady, FluidResult) and steady.extra["saturated"]
+    assert steady.system_throughput_point() == pytest.approx(
+        steady.extra["asymptotic"]["throughput_limit"]
+    )
+    assert sum(steady.extra["queue_length_inf"]) == pytest.approx(
+        float(population)
+    )
+    assert steady.extra["fluid_dim"] < 10  # independent of N
+    assert len(transient.times) == len(times)
+
+    fluid_perf_report.record_snapshot(
+        "fluid_million",
+        tele.snapshot(),
+        spans=("fluid.fixed_point", "fluid.integrate"),
+        counters=("fluid.field_eval", "fluid.ode_steps"),
+        preset=bench_preset(),
+        population=population,
+        fluid_dim=int(steady.extra["fluid_dim"]),
+        throughput=float(steady.system_throughput_point()),
+        saturated=bool(steady.extra["saturated"]),
+        fixed_point_residual=float(steady.extra["fixed_point_residual"]),
+        grid_points=len(times),
+        t_wall_s=float(t_wall),
+        states_enumerated=False,
+    )
+    assert t_wall < WALL_CEILING_S, (
+        f"fluid steady+transient at N={population:,} took {t_wall:.1f}s"
+    )
+
+
+def test_small_population_agreement(registry, fluid_perf_report):
+    """At N = 1 the fluid point is exact (renewal reward); gate 1e-3."""
+    worst = 0.0
+    for name in CLOSED_SCENARIOS:
+        net = get_scenario(name).network(population=1)
+        fluid = registry.solve(net, "fluid")
+        exact = registry.solve(net, "exact")
+        xf, xe = (
+            fluid.system_throughput_point(),
+            exact.system_throughput_point(),
+        )
+        worst = max(worst, abs(xf - xe) / xe)
+        for k, st in enumerate(net.stations):
+            qe = exact.queue_length_point(k)
+            worst = max(
+                worst,
+                abs(fluid.queue_length_point(k) - qe) / max(qe, 1e-6),
+            )
+            if st.kind != "delay":
+                ue = exact.utilization_point(k)
+                worst = max(
+                    worst,
+                    abs(fluid.utilization_point(k) - ue) / max(ue, 1e-6),
+                )
+    fluid_perf_report.record(
+        "fluid_small_agreement",
+        preset=bench_preset(),
+        scenarios=len(CLOSED_SCENARIOS),
+        population=1,
+        max_rel_error=float(worst),
+        rtol_gate=SMALL_N_RTOL,
+    )
+    assert worst <= SMALL_N_RTOL, f"N=1 fluid/exact gap {worst:.2e} > 1e-3"
+
+
+def test_monotone_convergence(registry, fluid_perf_report):
+    """Exact climbs toward the fluid limit with a shrinking gap as the
+    population doubles past the saturation knee."""
+    gaps = []
+    for N in CONVERGENCE_POPULATIONS:
+        net = get_scenario("bursty-tandem").network(population=N)
+        xf = registry.solve(net, "fluid").system_throughput_point()
+        xe = registry.solve(net, "exact").system_throughput_point()
+        gaps.append((xf - xe) / xf)
+    fluid_perf_report.record(
+        "fluid_convergence",
+        preset=bench_preset(),
+        scenario="bursty-tandem",
+        populations=",".join(str(n) for n in CONVERGENCE_POPULATIONS),
+        gap_first=float(gaps[0]),
+        gap_last=float(gaps[-1]),
+        monotone=all(b <= a + 1e-12 for a, b in zip(gaps, gaps[1:])),
+    )
+    assert all(b <= a + 1e-12 for a, b in zip(gaps, gaps[1:])), (
+        f"fluid gap not monotone over doubling N: {gaps}"
+    )

@@ -1,6 +1,7 @@
 """Statistical analysis helpers: sample ACF, confidence intervals, Little's law."""
 
 from repro.analysis.acf import sample_acf
+from repro.analysis.asymptotic import AsymptoticLimits, asymptotic_limits
 from repro.analysis.stats import (
     batch_means,
     confidence_interval,
@@ -10,6 +11,8 @@ from repro.analysis.littles import littles_law_residual
 
 __all__ = [
     "sample_acf",
+    "AsymptoticLimits",
+    "asymptotic_limits",
     "batch_means",
     "confidence_interval",
     "relative_error",

@@ -1,0 +1,135 @@
+"""Closed-form asymptotic (bottleneck-law) limits of closed networks.
+
+The ``N -> infinity`` operating point of a closed network is governed by
+its most loaded resource alone: system throughput saturates at
+
+    X(inf) = min_k  s_k / D_k        (queueing stations only)
+
+where ``D_k = v_k E[S_k]`` is the service demand and ``s_k`` the server
+count (1 for FCFS queues, ``servers`` for multiserver stations; delay
+stations never saturate).  Every other station then runs at utilization
+``U_k(inf) = X(inf) D_k / s_k`` and holds fluid level ``X(inf) D_k``,
+while the bottleneck absorbs the remaining population.  The population at
+which the limit is reached (the fluid "knee") is
+
+    N* = X(inf) * sum_k D_k
+
+with the sum over *all* demands including think time.
+
+These limits are first-moment facts — burstiness and phase correlation
+never move them, only the speed of convergence — which makes them the
+natural sanity oracle for the phase-aware fluid tier
+(:mod:`repro.fluid`): its fixed point must reproduce exactly these
+numbers in the saturated regime.  They are also the asymptote of the ABA
+upper bound, and ride along in the ``aba`` registry method's
+``result.extra["asymptotic"]``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.network.model import Network
+
+__all__ = ["AsymptoticLimits", "asymptotic_limits"]
+
+
+@dataclass(frozen=True)
+class AsymptoticLimits:
+    """Bottleneck-law limits of a closed network as ``N -> infinity``.
+
+    Attributes
+    ----------
+    throughput_limit:
+        ``X(inf) = min_k s_k / D_k`` over queueing stations (``inf`` for
+        a pure delay network, which never saturates).
+    bottleneck:
+        Index of the limiting station (``None`` for a pure delay network;
+        ties resolve to the lowest index).
+    saturation_population:
+        The fluid knee ``N* = X(inf) * sum_k D_k`` — below it the fluid
+        operating point is unsaturated (``X = N / sum D``), above it the
+        bottleneck holds all excess population.
+    utilization_limits:
+        Per-station ``U_k(inf) = min(1, X(inf) D_k / s_k)`` (``nan`` for
+        delay stations, whose busy probability has no saturation level).
+    queue_demands_total, think_demand:
+        Split of total demand into queueing demand and think time ``Z``.
+    """
+
+    throughput_limit: float
+    bottleneck: "int | None"
+    saturation_population: float
+    utilization_limits: tuple[float, ...]
+    queue_demands_total: float
+    think_demand: float
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (rides in ``result.extra``)."""
+        return {
+            "throughput_limit": (
+                None if math.isinf(self.throughput_limit)
+                else float(self.throughput_limit)
+            ),
+            "bottleneck": self.bottleneck,
+            "saturation_population": float(self.saturation_population),
+            "utilization_limits": [
+                None if math.isnan(u) else float(u)
+                for u in self.utilization_limits
+            ],
+            "queue_demands_total": float(self.queue_demands_total),
+            "think_demand": float(self.think_demand),
+        }
+
+
+def asymptotic_limits(network: Network) -> AsymptoticLimits:
+    """Compute the bottleneck-law limits of a closed network.
+
+    Only first moments enter: visit ratios, mean service times, and
+    server counts.  The result is exact for the fluid model and an upper
+    envelope for the stochastic network (which approaches it from below
+    as ``N`` grows).
+    """
+    # Imported here, not at module top: repro.analysis is a leaf package
+    # the maps/network layers import for statistics helpers, so pulling
+    # the network model in at import time would close a cycle.
+    from repro.network.model import require_closed
+
+    require_closed(network, "asymptotic_limits")
+    demands = np.asarray(network.service_demands, dtype=float)
+    caps = np.full(network.n_stations, np.inf)
+    for k, st in enumerate(network.stations):
+        if st.kind == "delay" or demands[k] <= 0.0:
+            continue
+        servers = st.servers if st.kind == "multiserver" else 1
+        caps[k] = servers / demands[k]
+    x_inf = float(caps.min())
+    bottleneck = None if math.isinf(x_inf) else int(np.argmin(caps))
+    is_delay = np.array([st.kind == "delay" for st in network.stations])
+    think = float(demands[is_delay].sum())
+    queue_total = float(demands[~is_delay].sum())
+    util = []
+    for k, st in enumerate(network.stations):
+        if st.kind == "delay":
+            util.append(float("nan"))
+        else:
+            servers = st.servers if st.kind == "multiserver" else 1
+            u = 0.0 if math.isinf(x_inf) else x_inf * demands[k] / servers
+            util.append(min(1.0, float(u)))
+    n_star = (
+        float("inf") if math.isinf(x_inf)
+        else x_inf * (queue_total + think)
+    )
+    return AsymptoticLimits(
+        throughput_limit=x_inf,
+        bottleneck=bottleneck,
+        saturation_population=n_star,
+        utilization_limits=tuple(util),
+        queue_demands_total=queue_total,
+        think_demand=think,
+    )

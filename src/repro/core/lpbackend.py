@@ -58,6 +58,7 @@ persistent backend is available wherever scipy's HiGHS is, and
 from __future__ import annotations
 
 import os
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
@@ -474,16 +475,21 @@ class LPLineageStore:
     def __init__(self, maxsize: int = 8) -> None:
         self.maxsize = int(maxsize)
         self._entries: "OrderedDict[str, dict]" = OrderedDict()
+        # The store is process-wide; registry methods may be driven from
+        # threads (e.g. a thread-pooled harness), and a lookup's recency
+        # bump racing a store's eviction loop would corrupt the LRU order.
+        self._lock = threading.Lock()
 
     def lookup(
         self, topology_key: str, metric: str, sense: str
     ) -> "tuple[_ModelShape, np.ndarray, np.ndarray] | None":
         """Latest ``(shape, col_status, row_status)`` of a lineage, if any."""
-        entry = self._entries.get(topology_key)
-        if entry is None:
-            return None
-        self._entries.move_to_end(topology_key)
-        return entry.get((metric, sense))
+        with self._lock:
+            entry = self._entries.get(topology_key)
+            if entry is None:
+                return None
+            self._entries.move_to_end(topology_key)
+            return entry.get((metric, sense))
 
     def store(
         self,
@@ -494,19 +500,22 @@ class LPLineageStore:
         col_status: np.ndarray,
         row_status: np.ndarray,
     ) -> None:
-        entry = self._entries.get(topology_key)
-        if entry is None:
-            entry = self._entries[topology_key] = {}
-            while len(self._entries) > self.maxsize:
-                self._entries.popitem(last=False)
-        self._entries.move_to_end(topology_key)
-        entry[(metric, sense)] = (shape, col_status, row_status)
+        with self._lock:
+            entry = self._entries.get(topology_key)
+            if entry is None:
+                entry = self._entries[topology_key] = {}
+                while len(self._entries) > self.maxsize:
+                    self._entries.popitem(last=False)
+            self._entries.move_to_end(topology_key)
+            entry[(metric, sense)] = (shape, col_status, row_status)
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
 
 _lineage_store = LPLineageStore()

@@ -1,0 +1,182 @@
+"""Fluid steady state in closed form: the bottleneck laws, made exact.
+
+The phase-aware drift of :mod:`repro.fluid.field` has a fixed point that
+can be written down without integrating anything.  Setting the phase
+drift to zero at a busy station forces ``y_k* = theta_k`` (the service
+MAP's time-stationary phase law), which makes every saturated station
+complete work at exactly ``s_k / E[S_k]`` — burstiness moves *how fast*
+the fluid relaxes, never *where* it lands.  Flow balance
+``mu_k = x v_k`` then has the piecewise-linear solution of the classic
+operational bottleneck analysis:
+
+* **Unsaturated** (``N <= N* = X(inf) sum_k D_k``): every station holds
+  ``n_k* = x D_k`` with ``x = N / sum_k D_k`` — jobs split in proportion
+  to demand and no server is full.
+* **Saturated** (``N > N*``): throughput pins at the asymptotic limit
+  ``x = X(inf) = min_k s_k / D_k`` (:mod:`repro.analysis.asymptotic`),
+  the non-bottleneck stations keep ``n_k* = x D_k``, and the bottleneck
+  absorbs all excess population (split equally across exact ties).
+
+Because the point is analytic, "solving for steady state" at ``N = 10^6``
+costs the same arithmetic as at ``N = 10``; the field residual
+``||f(x*)||_inf`` is still evaluated (one drift call) so the closed form
+is verified against the actual ODE field on every solve, and the whole
+computation runs under the ``fluid.fixed_point`` telemetry span.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import obs
+from repro.analysis.asymptotic import AsymptoticLimits, asymptotic_limits
+from repro.fluid.field import FluidField
+from repro.network.model import Network
+from repro.utils.errors import SolverError
+
+__all__ = ["FluidFixedPoint", "fluid_fixed_point"]
+
+#: Residual guard: the closed form must satisfy the drift field to float
+#: precision (scaled by the network's rate magnitudes); a violation means
+#: the field and the fixed point disagree about the model — a bug, never
+#: a tolerance issue — so it raises instead of warning.
+RESIDUAL_RTOL = 1e-9
+
+#: Stations within this relative gap of the binding capacity ratio count
+#: as tied bottlenecks and share the excess population equally.
+BOTTLENECK_TIE_RTOL = 1e-12
+
+
+@dataclass(frozen=True)
+class FluidFixedPoint:
+    """The fluid operating point of a closed network at its population.
+
+    Attributes
+    ----------
+    queue_lengths:
+        Fluid occupancies ``n_k*`` (they sum to ``N`` exactly).
+    phase_mixes:
+        Per-station stationary phase laws ``theta_k`` (length ``K_k``).
+    throughput:
+        Reference-station flow ``x`` (visit ratio 1); station ``k`` flows
+        at ``x v_k``.
+    saturated:
+        Whether ``N`` exceeds the knee ``N*`` (bottleneck regime).
+    bottlenecks:
+        Indices holding excess population (empty when unsaturated).
+    residual:
+        ``||f(x*)||_inf`` of the drift field at the point.
+    limits:
+        The :class:`~repro.analysis.asymptotic.AsymptoticLimits` the
+        saturated branch pins to.
+    """
+
+    queue_lengths: tuple[float, ...]
+    phase_mixes: tuple[tuple[float, ...], ...]
+    throughput: float
+    saturated: bool
+    bottlenecks: tuple[int, ...]
+    residual: float
+    limits: AsymptoticLimits
+
+    def utilization(self, k: int, network: Network) -> "float | None":
+        """Fluid utilization ``c_k(n_k*) / s_k`` (``None`` for delay)."""
+        st = network.stations[k]
+        if st.kind == "delay":
+            return None
+        servers = st.servers if st.kind == "multiserver" else 1
+        return min(self.queue_lengths[k], servers) / servers
+
+    def state_vector(self, field: FluidField) -> np.ndarray:
+        """The point packed as ``field``'s ODE state vector."""
+        return field.pack(self.queue_lengths, self.phase_mixes)
+
+
+def fluid_fixed_point(
+    network: Network, field: "FluidField | None" = None
+) -> FluidFixedPoint:
+    """Solve the fluid steady state of a closed network in closed form.
+
+    Parameters
+    ----------
+    network:
+        A closed :class:`~repro.network.model.Network` (open and mixed
+        raise the usual typed error via the field construction).
+    field:
+        An existing :class:`FluidField` to verify the residual against
+        (one is built when omitted).
+    """
+    if field is None:
+        field = FluidField(network)
+    tele = obs.get_telemetry()
+    with tele.span("fluid.fixed_point") as span:
+        limits = asymptotic_limits(network)
+        N = float(network.population)
+        demands = np.asarray(network.service_demands, dtype=float)
+        total = float(demands.sum())
+        x_inf = limits.throughput_limit
+        if total <= 0.0:
+            raise SolverError(
+                "fluid fixed point undefined: the network has zero total "
+                "service demand"
+            )
+        saturated = N > limits.saturation_population
+        bottlenecks: tuple[int, ...] = ()
+        if not saturated or math.isinf(x_inf):
+            x = N / total
+            n = x * demands
+            saturated = False
+        else:
+            x = x_inf
+            n = x * demands
+            # Capacity ratios again (asymptotic_limits already found the
+            # min); ties share the excess so the point stays symmetric.
+            caps = np.full(network.n_stations, np.inf)
+            for k, st in enumerate(network.stations):
+                if st.kind == "delay" or demands[k] <= 0.0:
+                    continue
+                servers = st.servers if st.kind == "multiserver" else 1
+                caps[k] = servers / demands[k]
+            tied = np.flatnonzero(caps <= x_inf * (1.0 + BOTTLENECK_TIE_RTOL))
+            excess = N - float(n.sum())
+            n[tied] += excess / len(tied)
+            bottlenecks = tuple(int(k) for k in tied)
+        thetas = tuple(
+            tuple(float(p) for p in st.service.phase_stationary)
+            for st in network.stations
+        )
+        point = FluidFixedPoint(
+            queue_lengths=tuple(float(v) for v in n),
+            phase_mixes=thetas,
+            throughput=float(x),
+            saturated=saturated,
+            bottlenecks=bottlenecks,
+            residual=0.0,
+            limits=limits,
+        )
+        drift = field(0.0, point.state_vector(field))
+        field.field_evals -= 1  # verification, not integration work
+        residual = float(np.max(np.abs(drift)))
+        scale = max(
+            1.0, float(np.max(field.completion_rates(point.state_vector(field))))
+        )
+        if residual > RESIDUAL_RTOL * scale * max(1.0, N):
+            raise SolverError(
+                f"fluid fixed point does not satisfy the drift field: "
+                f"residual {residual:.3e} (rate scale {scale:.3g}, N={N:g})"
+            )
+        span.set("residual", residual)
+        span.set("saturated", saturated)
+        span.count("fluid.fixed_point")
+        return FluidFixedPoint(
+            queue_lengths=point.queue_lengths,
+            phase_mixes=point.phase_mixes,
+            throughput=point.throughput,
+            saturated=point.saturated,
+            bottlenecks=point.bottlenecks,
+            residual=residual,
+            limits=limits,
+        )

@@ -1,0 +1,43 @@
+""":class:`FluidResult` — the registry's fluid solve output.
+
+A thin :class:`~repro.transient.result.TransientResult` subclass so the
+two population-free analyses share one surface: a steady solve carries
+an empty grid (the interval fields hold the fixed point), a transient
+solve carries the sampled fluid trajectories exactly like the CTMC
+transient method does — and either round-trips the two-tier JSON cache
+through the inherited ``to_dict``/``from_dict`` pair, replayed as a
+``FluidResult`` because the registry registers this class.
+
+``distance_tv`` holds the fluid analogue of the total-variation mixing
+diagnostic: ``(1/2N) sum_k |n_k(t) - n_k*|``, the mass (as a population
+fraction) that still has to move for the trajectory to reach the fixed
+point.  It is 0 exactly when the fluid has converged, making the warm-up
+accessors of the parent class meaningful unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.transient.result import TransientResult
+
+__all__ = ["FluidResult"]
+
+
+@dataclass(frozen=True)
+class FluidResult(TransientResult):
+    """Fluid solve result (steady fixed point or ODE trajectory)."""
+
+    @property
+    def is_steady(self) -> bool:
+        """True when this solve returned the fixed point only (no grid)."""
+        return len(self.times) == 0
+
+    @property
+    def saturated(self) -> bool:
+        """Whether the fixed point sits in the bottleneck regime."""
+        return bool(self.extra.get("saturated", False))
+
+    def fixed_point_queue_length(self, k: int) -> float:
+        """Fluid steady occupancy ``n_k*`` of station ``k``."""
+        return float(self.extra["queue_length_inf"][k])

@@ -517,6 +517,8 @@ def _solve_mva(
 
 def _solve_aba(network: Network, reference: int = 0) -> SolveResult:
     require_closed(network, "aba")
+    from repro.analysis.asymptotic import asymptotic_limits
+
     b = aba_bounds(network)
     M = network.n_stations
     N = network.population
@@ -540,7 +542,13 @@ def _solve_aba(network: Network, reference: int = 0) -> SolveResult:
         qlen,
         x,
         Interval(lower=N / x.upper, upper=N / x.lower),
-        extra={"certified": True, "first_moment_only": True},
+        extra={
+            "certified": True,
+            "first_moment_only": True,
+            # The N -> inf operating point the upper bound pins to — also
+            # the fluid tier's saturated fixed point (repro.fluid).
+            "asymptotic": asymptotic_limits(network).to_dict(),
+        },
     )
 
 
@@ -662,6 +670,11 @@ class SolverRegistry:
             result_cls=TransientResult,
             fingerprint_invariant_opts=("backend",),
         )
+        # Same lazy-import layering: FluidResult extends TransientResult.
+        from repro.fluid.result import FluidResult
+        from repro.fluid.solver import solve_fluid
+
+        self.register("fluid", solve_fluid, result_cls=FluidResult)
 
     def register(
         self,

@@ -14,8 +14,10 @@ Subcommands
     utilizations / stability without solving.
 ``solve NAME``
     Solve one population through the cached solver registry.  With
-    ``--method transient`` the extra ``--times``/``--pi0`` options select
-    the grid and the initial state, and the trajectory is printed.
+    ``--method transient`` (or ``--method fluid``) the extra
+    ``--times``/``--pi0`` options select the grid and the initial state,
+    and the trajectory is printed; ``--method fluid`` without ``--times``
+    solves the fluid steady state directly (populations in the millions).
 ``sweep NAME``
     Population sweep through :class:`~repro.runtime.sweep.SweepRunner`.
 
@@ -401,12 +403,15 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     net, label = _network_for(args)
     opts = {}
     if args.times is not None or args.pi0 is not None:
-        if args.method != "transient":
+        if args.method not in ("transient", "fluid"):
             raise SystemExit(
-                "--times/--pi0 apply to --method transient only"
+                "--times/--pi0 apply to --method transient/fluid only"
             )
         if args.times is not None:
-            opts["times"] = _parse_times(args.times)
+            opts["times"] = (
+                "auto" if args.times.strip() == "auto"
+                else _parse_times(args.times)
+            )
         if args.pi0 is not None:
             opts["pi0"] = args.pi0
     if args.backend is not None:
@@ -452,8 +457,15 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         tail.append(f"response time in [{r.lower:.6g}, {r.upper:.6g}]")
     if tail:
         print("; ".join(tail))
-    if res.method == "transient":
+    if res.method == "transient" or (res.method == "fluid" and res.times):
         _print_trajectory(res)
+    elif res.method == "fluid":
+        print(
+            "fluid fixed point ("
+            + ("saturated" if res.extra.get("saturated") else "unsaturated")
+            + f", dim={res.extra.get('fluid_dim')}, residual="
+            + f"{res.extra.get('fixed_point_residual', 0.0):.2e})"
+        )
     _emit_profile(args, tele)
     return 0
 
@@ -599,9 +611,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="solver method (lp/exact/sim/transient/mva/...)")
     p.add_argument("--population", type=int, default=None)
     p.add_argument("--times", default=None,
-                   help="transient time grid: 't1,t2,...' or 'start:stop:num'")
+                   help="transient/fluid time grid: 't1,t2,...', "
+                        "'start:stop:num', or 'auto' (without --times, "
+                        "--method fluid solves the steady fixed point)")
     p.add_argument("--pi0", default=None,
-                   help="transient initial state: loaded:<st>|burst:<st>|steady")
+                   help="transient/fluid initial state: "
+                        "loaded:<st>|burst:<st>|steady")
     p.add_argument("--backend", default=None,
                    choices=("auto", "dense", "operator"),
                    help="generator representation for exact/transient: "

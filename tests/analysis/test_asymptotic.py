@@ -1,0 +1,120 @@
+"""Bottleneck-law asymptotic limits: values, kinds, and registry exposure."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import AsymptoticLimits, asymptotic_limits
+from repro.maps.builders import exponential
+from repro.network.model import Network
+from repro.network.stations import delay, multiserver, queue
+from repro.runtime import SolverRegistry
+from repro.scenarios import get_scenario
+from repro.utils.errors import UnsupportedNetworkError
+from repro.workloads.tandem import tandem_model
+
+RING = np.array([[0.0, 1.0], [1.0, 0.0]])
+
+
+class TestLimits:
+    def test_tandem_bottleneck(self):
+        limits = asymptotic_limits(tandem_model(5))
+        # q1 (demand 1.0) binds; q2 has demand 0.95.
+        assert limits.bottleneck == 0
+        assert limits.throughput_limit == pytest.approx(1.0)
+        assert limits.saturation_population == pytest.approx(1.95)
+        assert limits.utilization_limits[0] == pytest.approx(1.0)
+        assert limits.utilization_limits[1] == pytest.approx(0.95)
+
+    def test_population_independent(self):
+        a = asymptotic_limits(tandem_model(2))
+        b = asymptotic_limits(tandem_model(2_000_000))
+        assert a.throughput_limit == b.throughput_limit
+        assert a.saturation_population == b.saturation_population
+
+    def test_multiserver_scales_capacity(self):
+        net = Network(
+            [
+                queue("front", exponential(1.0)),
+                multiserver("pool", exponential(0.5), servers=4),
+            ],
+            RING,
+            10,
+        )
+        limits = asymptotic_limits(net)
+        # pool: D = 2, s = 4 -> cap 2; front: D = 1 -> cap 1 binds.
+        assert limits.bottleneck == 0
+        assert limits.throughput_limit == pytest.approx(1.0)
+        assert limits.utilization_limits[1] == pytest.approx(0.5)
+
+    def test_delay_demand_enters_the_knee_not_the_limit(self):
+        net = Network(
+            [delay("think", exponential(0.25)), queue("srv", exponential(1.0))],
+            RING,
+            10,
+        )
+        limits = asymptotic_limits(net)
+        assert limits.bottleneck == 1
+        assert limits.throughput_limit == pytest.approx(1.0)
+        assert limits.think_demand == pytest.approx(4.0)
+        assert limits.saturation_population == pytest.approx(5.0)
+        assert math.isnan(limits.utilization_limits[0])
+
+    def test_pure_delay_network_never_saturates(self):
+        net = Network(
+            [delay("a", exponential(1.0)), delay("b", exponential(2.0))],
+            RING,
+            5,
+        )
+        limits = asymptotic_limits(net)
+        assert math.isinf(limits.throughput_limit)
+        assert limits.bottleneck is None
+        assert math.isinf(limits.saturation_population)
+        # JSON form must stay strict-JSON clean (None, not inf/nan).
+        d = limits.to_dict()
+        assert d["throughput_limit"] is None
+        assert d["utilization_limits"] == [None, None]
+
+    def test_open_network_rejected(self):
+        opennet = get_scenario("open-bursty-tandem").network()
+        with pytest.raises(UnsupportedNetworkError):
+            asymptotic_limits(opennet)
+
+    def test_first_moments_only(self):
+        """Burstiness must not move the limits (only the convergence)."""
+        bursty = asymptotic_limits(tandem_model(5, scv=16.0, gamma2=0.5))
+        smooth = asymptotic_limits(tandem_model(5, scv=1.0, gamma2=0.0))
+        assert bursty.throughput_limit == pytest.approx(smooth.throughput_limit)
+        assert bursty.saturation_population == pytest.approx(
+            smooth.saturation_population
+        )
+
+
+class TestRegistryExposure:
+    def test_aba_extra_carries_the_limits(self):
+        reg = SolverRegistry(cache=None)
+        net = tandem_model(10)
+        res = reg.solve(net, "aba")
+        limits = res.extra["asymptotic"]
+        assert limits["throughput_limit"] == pytest.approx(1.0)
+        assert limits["bottleneck"] == 0
+        # The ABA upper bound converges to exactly this limit.
+        assert res.system_throughput.upper <= limits["throughput_limit"] + 1e-12
+        big = reg.solve(tandem_model(10_000), "aba")
+        assert big.system_throughput.upper == pytest.approx(
+            limits["throughput_limit"]
+        )
+
+    def test_payload_is_json_serializable(self):
+        import json
+
+        reg = SolverRegistry(cache=None)
+        res = reg.solve(get_scenario("tpcw").network(population=3), "aba")
+        json.dumps(res.to_dict())
+
+    def test_dataclass_surface(self):
+        limits = asymptotic_limits(tandem_model(3))
+        assert isinstance(limits, AsymptoticLimits)
+        assert limits.queue_demands_total == pytest.approx(1.95)
+        assert limits.think_demand == 0.0

@@ -1,0 +1,217 @@
+"""FluidField: conservation laws, analytic Jacobian, freeze semantics."""
+
+import numpy as np
+import pytest
+
+from repro.fluid import FluidField
+from repro.maps.builders import exponential
+from repro.network.model import Network
+from repro.network.stations import delay, multiserver, queue
+from repro.scenarios import get_scenario
+from repro.utils.errors import UnsupportedNetworkError
+from repro.workloads.bursty import bursty_service
+from repro.workloads.tandem import tandem_model
+
+CLOSED_SCENARIOS = ("bursty-tandem", "fig5-case-study", "tpcw")
+
+
+def _random_state(field, rng, population):
+    """A random admissible packed state (n >= 0 summing to N, y simplex)."""
+    n = rng.dirichlet(np.ones(field.n_stations)) * population
+    phases = []
+    for st in field.network.stations:
+        y = rng.dirichlet(np.ones(st.phases))
+        phases.append(y)
+    return field.pack(n, phases)
+
+
+@pytest.fixture(scope="module")
+def rng():
+    return np.random.default_rng(20260808)
+
+
+class TestStructure:
+    def test_dimension_is_population_free(self):
+        small = FluidField(tandem_model(2))
+        large = FluidField(tandem_model(1_000_000))
+        assert small.dim == large.dim == 2 + 2  # two stations, one MAP(2)
+
+    def test_single_phase_stations_are_untracked(self):
+        net = get_scenario("fig5-case-study").network(population=5)
+        field = FluidField(net)
+        orders = [st.service.order for st in net.stations]
+        assert field.dim == net.n_stations + sum(o for o in orders if o > 1)
+
+    def test_open_network_rejected(self):
+        opennet = get_scenario("open-bursty-tandem").network()
+        with pytest.raises(UnsupportedNetworkError):
+            FluidField(opennet)
+
+    def test_pack_unpack_roundtrip(self, rng):
+        net = get_scenario("tpcw").network(population=10)
+        field = FluidField(net)
+        x = _random_state(field, rng, 10)
+        n, ys = field.unpack(x)
+        assert np.allclose(field.pack(n, ys), x)
+        for st, y in zip(net.stations, ys):
+            assert y.shape == (st.phases,)
+            assert y.sum() == pytest.approx(1.0)
+
+
+class TestConservation:
+    @pytest.mark.parametrize("name", CLOSED_SCENARIOS)
+    def test_population_mass_is_conserved(self, name, rng):
+        net = get_scenario(name).network(population=7)
+        field = FluidField(net)
+        for _ in range(20):
+            x = _random_state(field, rng, 7)
+            dx = field(0.0, x)
+            assert abs(dx[: net.n_stations].sum()) < 1e-12 * max(
+                1.0, np.abs(dx).max()
+            )
+
+    @pytest.mark.parametrize("name", CLOSED_SCENARIOS)
+    def test_phase_mass_is_conserved(self, name, rng):
+        net = get_scenario(name).network(population=7)
+        field = FluidField(net)
+        for _ in range(20):
+            x = _random_state(field, rng, 7)
+            dx = field(0.0, x)
+            _, dys = field.unpack(dx)
+            for st, dy in zip(net.stations, dys):
+                if st.phases > 1:
+                    assert abs(dy.sum()) < 1e-12
+
+    def test_integration_preserves_simplices(self):
+        # One stiff integration step sequence keeps n >= 0, sum n = N,
+        # and every y on the simplex (up to solver tolerance).
+        from repro.fluid import integrate_fluid
+
+        net = tandem_model(12)
+        field = FluidField(net)
+        theta = [st.service.phase_stationary for st in net.stations]
+        x0 = field.pack([12.0, 0.0], theta)
+        out = integrate_fluid(field, x0, np.linspace(0.0, 40.0, 9))
+        for x in out["states"]:
+            n, ys = field.unpack(x)
+            assert n.sum() == pytest.approx(12.0, abs=1e-6)
+            assert np.all(n >= -1e-9)
+            for y in ys:
+                assert y.sum() == pytest.approx(1.0, abs=1e-6)
+
+
+class TestRates:
+    def test_exponential_rates_from_mean(self):
+        net = get_scenario("fig5-case-study").network(population=3)
+        field = FluidField(net)
+        fp_rates = field.event_rates(
+            field.pack(
+                np.ones(net.n_stations),
+                [st.service.phase_stationary for st in net.stations],
+            )
+        )
+        for k, st in enumerate(net.stations):
+            # At the stationary mix every station serves at 1/E[S].
+            assert fp_rates[k] == pytest.approx(1.0 / st.mean_service_time)
+
+    def test_occupancy_factors_by_kind(self):
+        net = Network(
+            [
+                queue("q", exponential(1.0)),
+                delay("think", exponential(0.5)),
+                multiserver("pool", exponential(2.0), servers=3),
+            ],
+            np.array(
+                [[0.0, 1.0, 0.0], [0.0, 0.0, 1.0], [1.0, 0.0, 0.0]]
+            ),
+            6,
+        )
+        field = FluidField(net)
+        c = field.occupancy_factors(np.array([2.5, 2.5, 2.5]))
+        assert c == pytest.approx([1.0, 2.5, 2.5])
+        c = field.occupancy_factors(np.array([0.4, 10.0, 5.0]))
+        assert c == pytest.approx([0.4, 10.0, 3.0])
+
+    def test_idle_station_phase_freezes(self):
+        net = tandem_model(4)
+        field = FluidField(net)
+        y = np.array([0.9, 0.1])  # away from stationary
+        x = field.pack([0.0, 4.0], [y, np.ones(1)])
+        dx = field(0.0, x)
+        _, dys = field.unpack(dx)
+        # q1 idle: its phase mix must not drift (frozen-phase semantics).
+        assert np.allclose(dys[0], 0.0)
+        # Make it busy: now the phase relaxes toward stationarity.
+        x = field.pack([1.0, 3.0], [y, np.ones(1)])
+        _, dys = field.unpack(field(0.0, x))
+        assert np.abs(dys[0]).max() > 0.0
+
+    def test_field_eval_counter(self):
+        field = FluidField(tandem_model(3))
+        x = field.pack([2.0, 1.0], [field.network.stations[0].service.phase_stationary, [1.0]])
+        before = field.field_evals
+        field(0.0, x)
+        field(0.0, x)
+        assert field.field_evals == before + 2
+
+
+class TestJacobian:
+    @pytest.mark.parametrize("name", CLOSED_SCENARIOS)
+    def test_matches_finite_differences(self, name, rng):
+        net = get_scenario(name).network(population=9)
+        field = FluidField(net)
+        for _ in range(5):
+            x = _random_state(field, rng, 9)
+            # Keep away from the c(n) kinks where one-sided derivatives
+            # differ by construction.
+            n = x[: net.n_stations]
+            caps = [
+                1.0 if st.kind == "queue" else float(st.servers)
+                for st in net.stations
+                if st.kind != "delay"
+            ]
+            if any(abs(v - c) < 1e-3 for v in n for c in caps):
+                continue
+            J = field.jacobian(0.0, x)
+            eps = 1e-7
+            for j in range(field.dim):
+                e = np.zeros(field.dim)
+                e[j] = eps
+                fd = (field(0.0, x + e) - field(0.0, x - e)) / (2 * eps)
+                assert np.allclose(J[:, j], fd, rtol=1e-5, atol=1e-6), (
+                    f"column {j} of the Jacobian disagrees with finite "
+                    f"differences on {name}"
+                )
+
+    def test_bursty_station_phase_block(self):
+        service = bursty_service(mean=1.0, level="high")
+        net = Network(
+            [queue("b", service), queue("e", exponential(1.0))],
+            np.array([[0.0, 1.0], [1.0, 0.0]]),
+            5,
+        )
+        field = FluidField(net)
+        x = field.pack([3.0, 2.0], [service.phase_stationary, [1.0]])
+        J = field.jacobian(0.0, x)
+        sl = slice(2, 2 + service.order)
+        # Busy station (n >= 1): the phase block is exactly Q^T.
+        assert np.allclose(J[sl, sl], service.generator.T)
+
+
+class TestEvents:
+    def test_switch_events_cover_finite_capacity_stations(self):
+        net = get_scenario("tpcw").network(population=4)
+        field = FluidField(net)
+        events = field.switch_events()
+        finite = [
+            k for k, st in enumerate(net.stations) if st.kind != "delay"
+        ]
+        assert [ev.station for ev in events] == finite
+        assert all(not ev.terminal for ev in events)
+
+    def test_event_sign_change_at_capacity(self):
+        field = FluidField(tandem_model(3))
+        ev = field.switch_events()[0]
+        below = field.pack([0.5, 2.5], [[0.5, 0.5], [1.0]])
+        above = field.pack([1.5, 1.5], [[0.5, 0.5], [1.0]])
+        assert ev(0.0, below) < 0 < ev(0.0, above)

@@ -1,0 +1,143 @@
+"""Fluid fixed point: residuals, regimes, and the asymptotic/ABA oracle."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import asymptotic_limits
+from repro.baselines.aba import aba_bounds
+from repro.fluid import FluidField, fluid_fixed_point
+from repro.maps.builders import exponential
+from repro.network.model import Network
+from repro.network.stations import delay, multiserver, queue
+from repro.scenarios import get_scenario
+from repro.workloads.tandem import tandem_model
+
+CLOSED_SCENARIOS = ("bursty-tandem", "fig5-case-study", "tpcw")
+
+
+class TestResidual:
+    @pytest.mark.parametrize("name", CLOSED_SCENARIOS)
+    @pytest.mark.parametrize("population", (1, 3, 40, 10_000))
+    def test_closed_form_satisfies_the_field(self, name, population):
+        net = get_scenario(name).network(population=population)
+        point = fluid_fixed_point(net)
+        assert point.residual < 1e-9
+
+    def test_mass_conservation(self):
+        for N in (1, 7, 123, 1_000_000):
+            point = fluid_fixed_point(tandem_model(N))
+            assert sum(point.queue_lengths) == pytest.approx(float(N))
+
+    def test_phase_mix_is_stationary(self):
+        net = get_scenario("bursty-tandem").network(population=5)
+        point = fluid_fixed_point(net)
+        for st, y in zip(net.stations, point.phase_mixes):
+            assert np.allclose(y, st.service.phase_stationary)
+
+
+class TestRegimes:
+    def test_unsaturated_proportional_split(self):
+        net = tandem_model(1)
+        point = fluid_fixed_point(net)
+        assert not point.saturated
+        demands = np.asarray(net.service_demands)
+        x = 1.0 / demands.sum()
+        assert point.throughput == pytest.approx(x)
+        assert np.allclose(point.queue_lengths, x * demands)
+
+    def test_saturated_bottleneck_absorbs_excess(self):
+        net = tandem_model(100)
+        point = fluid_fixed_point(net)
+        assert point.saturated
+        assert point.bottlenecks == (0,)  # q1 has the larger demand
+        # Non-bottleneck holds x * D; bottleneck takes the rest.
+        assert point.queue_lengths[1] == pytest.approx(
+            point.throughput * float(net.service_demands[1])
+        )
+        assert sum(point.queue_lengths) == pytest.approx(100.0)
+
+    def test_saturated_throughput_is_the_asymptotic_limit(self):
+        net = get_scenario("fig5-case-study").network(population=500)
+        point = fluid_fixed_point(net)
+        limits = asymptotic_limits(net)
+        assert point.saturated
+        assert point.throughput == pytest.approx(limits.throughput_limit)
+
+    def test_tied_bottlenecks_share_excess(self):
+        net = Network(
+            [queue("a", exponential(1.0)), queue("b", exponential(1.0))],
+            np.array([[0.0, 1.0], [1.0, 0.0]]),
+            10,
+        )
+        point = fluid_fixed_point(net)
+        assert point.bottlenecks == (0, 1)
+        assert point.queue_lengths[0] == pytest.approx(point.queue_lengths[1])
+        assert point.residual < 1e-9
+
+    def test_delay_station_never_bottlenecks(self):
+        think = delay("think", exponential(0.1))  # demand 10, but infinite servers
+        net = Network(
+            [think, queue("srv", exponential(1.0))],
+            np.array([[0.0, 1.0], [1.0, 0.0]]),
+            200,
+        )
+        point = fluid_fixed_point(net)
+        assert point.bottlenecks == (1,)
+        assert point.throughput == pytest.approx(1.0)
+        # The delay tier holds x * Z jobs, the server queue the rest.
+        assert point.queue_lengths[0] == pytest.approx(10.0)
+        assert point.queue_lengths[1] == pytest.approx(190.0)
+        assert point.utilization(0, net) is None
+        assert point.utilization(1, net) == pytest.approx(1.0)
+
+    def test_multiserver_capacity_scales_the_knee(self):
+        def make(servers):
+            return Network(
+                [
+                    queue("front", exponential(2.0)),
+                    multiserver("pool", exponential(1.0), servers=servers),
+                ],
+                np.array([[0.0, 1.0], [1.0, 0.0]]),
+                50,
+            )
+
+        one = fluid_fixed_point(make(1))
+        four = fluid_fixed_point(make(4))
+        # One pool server binds at 1/D = 1; four servers lift the pool's
+        # capacity past the front queue, which then binds at 1/0.5 = 2.
+        assert one.throughput == pytest.approx(1.0)
+        assert one.bottlenecks == (1,)
+        assert four.throughput == pytest.approx(2.0)
+        assert four.bottlenecks == (0,)
+        assert four.residual < 1e-9
+
+
+class TestOracles:
+    @pytest.mark.parametrize("name", CLOSED_SCENARIOS)
+    @pytest.mark.parametrize("population", (1, 4, 64, 100_000))
+    def test_equals_the_aba_upper_bound(self, name, population):
+        """The fluid fixed point IS the balanced-bound upper envelope."""
+        net = get_scenario(name).network(population=population)
+        point = fluid_fixed_point(net)
+        b = aba_bounds(net)
+        assert point.throughput == pytest.approx(b.throughput_upper)
+
+    @pytest.mark.parametrize("name", CLOSED_SCENARIOS)
+    def test_matches_asymptotic_saturation_levels(self, name):
+        net = get_scenario(name).network(population=1_000_000)
+        point = fluid_fixed_point(net)
+        limits = asymptotic_limits(net)
+        for k, st in enumerate(net.stations):
+            if st.kind == "delay":
+                continue
+            assert point.utilization(k, net) == pytest.approx(
+                limits.utilization_limits[k], abs=1e-9
+            )
+
+    def test_shared_field_instance_is_reused(self):
+        net = tandem_model(5)
+        field = FluidField(net)
+        before = field.field_evals
+        fluid_fixed_point(net, field=field)
+        # Residual verification must not inflate the integration counter.
+        assert field.field_evals == before

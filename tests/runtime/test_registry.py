@@ -42,7 +42,7 @@ class TestDispatch:
     def test_all_methods_registered(self, registry):
         assert set(registry.methods) == {
             "lp", "exact", "sim", "qbd", "mva", "aba", "bjb", "decomposition",
-            "transient",
+            "transient", "fluid",
         }
 
     @pytest.mark.parametrize(

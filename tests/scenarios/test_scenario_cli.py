@@ -121,7 +121,7 @@ class TestSolveTransient:
         assert out.count("\n") > 5
 
     def test_times_rejected_for_other_methods(self):
-        with pytest.raises(SystemExit, match="transient only"):
+        with pytest.raises(SystemExit, match="transient/fluid only"):
             main([
                 "solve", "poisson-tandem", "--method", "mva",
                 "--times", "0,1",

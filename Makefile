@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: test lint docs docs-serve bench bench-large bench-transient bench-fluid bench-fluid-large bench-kron bench-kron-large smoke-open smoke-transient smoke-obs smoke-kron smoke-lp smoke-fluid clean
+.PHONY: test lint docs docs-serve bench bench-large bench-transient bench-fluid bench-fluid-large bench-kron bench-kron-large smoke-open smoke-transient smoke-obs smoke-obs-history smoke-kron smoke-lp smoke-fluid clean
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -18,8 +18,10 @@ docs-serve: docs
 	mkdocs serve
 
 # Quick benchmark preset with the JSON reporter (writes the untracked
-# BENCH_lp_scaling.quick.json).  CI runs this with the canonical artifact
-# name pinned and uploads it; fails on reporter errors, never timing noise.
+# BENCH_lp_scaling.quick.json; see the naming contract in
+# benchmarks/bench_reporting.py).  CI uploads the quick artifact and
+# gates it with `python -m repro.obs sentinel baseline`; fails on
+# reporter errors, never timing noise.
 bench:
 	REPRO_BENCH_PRESET=quick $(PYTHON) -m pytest benchmarks/test_bench_lp_scaling.py -q
 
@@ -82,6 +84,14 @@ smoke-transient:
 smoke-obs:
 	$(PYTHON) benchmarks/smoke_obs.py
 
+# End-to-end smoke of the perf-history ledger + regression sentinel: a
+# real bench run flows into the ledger at write time, `history
+# validate/ingest/show` and `sentinel check` pass on the unmodified
+# artifact, and an injected 2x slowdown must exit nonzero (see
+# docs/performance.md).
+smoke-obs-history:
+	$(PYTHON) benchmarks/smoke_obs_history.py
+
 # End-to-end smoke of the matrix-free Kronecker backend: a catalog-scale
 # ring past the dense storage wall solved exactly (Krylov) and
 # transiently with build_generator tripwired, disk-cache replay under
@@ -106,4 +116,4 @@ smoke-fluid:
 	$(PYTHON) benchmarks/smoke_fluid.py
 
 clean:
-	rm -rf site .repro-cache .pytest_cache
+	rm -rf site .repro-cache .repro-perf .pytest_cache

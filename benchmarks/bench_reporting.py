@@ -50,13 +50,16 @@ def default_report_path(
 ) -> Path:
     """Output path for the active preset (``env_var`` overrides).
 
-    Only the large preset writes the *tracked* baseline
-    ``BENCH_<benchmark>.json``; the quick preset defaults to the untracked
-    ``BENCH_<benchmark>.quick.json`` so a local ``make bench`` can never
-    clobber the committed large-preset measurement.  The CI bench job pins
-    the env var (``REPRO_BENCH_JSON`` for the LP benchmark,
-    ``REPRO_BENCH_TRANSIENT_JSON`` for the transient one) explicitly for
-    its artifacts.
+    This is the artifact naming contract (shared with
+    ``repro.obs.history``): the large preset writes the *canonical*
+    tracked baseline ``BENCH_<benchmark>.json``; the quick preset always
+    writes ``BENCH_<benchmark>.quick.json`` — untracked by default
+    (``.gitignore``), with ``BENCH_kron.quick.json`` deliberately
+    committed as the materializable-shape record — so a quick run can
+    never clobber the committed large-preset measurement.  CI runs the
+    quick presets unpinned and gates the ``.quick.json`` outputs with
+    ``python -m repro.obs sentinel baseline``; the env var remains an
+    explicit escape hatch for tests and one-off comparisons.
     """
     env = os.environ.get(env_var)
     if env:
@@ -148,7 +151,16 @@ class PerfReporter:
         }
 
     def write(self) -> Path:
-        """Serialize, write atomically, and verify the round-trip."""
+        """Serialize, write atomically, and verify the round-trip.
+
+        When ``REPRO_PERF_LEDGER`` is set the artifact additionally
+        flows into the perf-history ledger (``1``/``true`` selects the
+        default ``.repro-perf`` store, any other value is the ledger
+        directory) — this is how bench runs become trajectory points
+        without a separate ingest step.  Ledger failures raise like any
+        other reporter failure: CI fails on reporter errors, never on
+        timing noise.
+        """
         text = json.dumps(self.payload(), indent=2, allow_nan=False) + "\n"
         tmp = self.path.with_suffix(".json.tmp")
         tmp.write_text(text)
@@ -156,4 +168,11 @@ class PerfReporter:
         check = json.loads(self.path.read_text())
         if check.get("schema") != SCHEMA_VERSION or "entries" not in check:
             raise RuntimeError(f"perf report round-trip failed for {self.path}")
+        ledger_env = os.environ.get("REPRO_PERF_LEDGER")
+        if ledger_env:
+            from repro.obs.history import Ledger
+
+            root = None if ledger_env.lower() in ("1", "true", "yes") else ledger_env
+            n = Ledger(root).ingest(self.path)
+            print(f"perf ledger: +{n} records from {self.path.name}")
         return self.path

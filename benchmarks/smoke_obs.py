@@ -104,7 +104,52 @@ def main() -> int:
               file=sys.stderr)
         return 1
 
-    print("smoke OK: profile/trace/provenance pipeline end to end")
+    # 5. Live exposition: /metrics scraped *during* a parallel sweep must
+    # show the aggregate growing, and the final scrape must carry the
+    # Prometheus-rendered sweep counters (see docs/observability.md).
+    import threading
+    import time as _time
+    from urllib.request import urlopen
+
+    from repro.experiments.fig8 import fig5_network
+    from repro.runtime.sweep import SweepRunner
+
+    populations = [2, 3, 4, 5]
+    obs.enable()
+    server = obs.start_metrics_server()
+    try:
+        worker = threading.Thread(
+            target=lambda: SweepRunner(cache_dir=None).population_sweep(
+                fig5_network(populations[0]), populations,
+                method="lp", workers=2,
+            ),
+        )
+        worker.start()
+        seen_live = False
+        while worker.is_alive():
+            text = urlopen(server.url + "/metrics", timeout=10).read().decode()
+            if "repro_sweep_completed_points" in text:
+                seen_live = True
+            _time.sleep(0.05)
+        worker.join()
+        text = urlopen(server.url + "/metrics", timeout=10).read().decode()
+    finally:
+        server.stop()
+        obs.disable()
+    want = (
+        f"repro_sweep_completed_points {len(populations)}",
+        "repro_lp_solves_total",
+        "# TYPE repro_span_sweep_run_duration_s summary",
+    )
+    missing = [w for w in want if w not in text]
+    if missing:
+        print(f"FAIL: /metrics lacks {missing}", file=sys.stderr)
+        return 1
+    live = "mid-sweep scrape saw progress" if seen_live else \
+        "sweep finished before a mid-sweep scrape landed"
+    print(f"  metrics endpoint: sweep aggregate exposed ({live})")
+
+    print("smoke OK: profile/trace/provenance/exposition end to end")
     return 0
 
 

@@ -1,0 +1,153 @@
+#!/usr/bin/env python
+"""End-to-end smoke of the perf-history ledger + regression sentinel.
+
+CI's ``smoke-obs-history``.  Drives the acceptance pipeline of the
+observability-v2 PR in one shot:
+
+1. a real (small) bench run: a profiled registry solve recorded through
+   :class:`PerfReporter.record_snapshot`, written as a quick-preset
+   artifact with ``REPRO_PERF_LEDGER`` set, so the artifact flows into
+   the ledger at write time;
+2. ``history validate`` accepts the artifact, ``history ingest`` is
+   idempotent (the write-time ingest already recorded it), and
+   ``history show`` renders the trajectory;
+3. ``sentinel check`` passes on the unmodified artifact;
+4. a 2x slowdown injected into every timing field must make
+   ``sentinel check`` exit nonzero, and ``history diff`` must show the
+   injected ratio once the slowed artifact is ingested.
+
+Exit status 0 means the ledger/sentinel workflow documented in
+``docs/performance.md`` works end to end.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+if SRC.is_dir() and str(SRC) not in sys.path:  # run from a source checkout
+    sys.path.insert(0, str(SRC))
+
+BENCH = "smokehist"
+
+
+def _cli(env: dict, *args: str) -> "tuple[int, str]":
+    """Run ``python -m repro.obs <args>``; returns (exit code, output)."""
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.obs", *args],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    return proc.returncode, (proc.stdout + proc.stderr).strip()
+
+
+def _bench_run(path: Path) -> None:
+    """One real profiled solve, reported as a quick-preset artifact."""
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+    import repro.obs as obs
+    from bench_reporting import PerfReporter
+    from repro.experiments.fig8 import fig5_network
+    from repro.runtime.registry import SolverRegistry
+
+    reporter = PerfReporter(path=path, benchmark=BENCH)
+    tele = obs.Telemetry()
+    with obs.use(tele):
+        result = SolverRegistry(cache=None).solve(fig5_network(4), "lp")
+    reporter.record_snapshot(
+        "smokehist_solve",
+        tele.snapshot(),
+        spans=("registry.solve",),
+        method=result.method,
+    )
+    reporter.write()
+
+
+def main() -> int:
+    """Run the smoke pipeline; returns a process exit code."""
+    tmp = Path(tempfile.mkdtemp(prefix="repro-smoke-obs-history-"))
+    perf_dir = tmp / "perf"
+    artifact = tmp / f"BENCH_{BENCH}.quick.json"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    env["REPRO_PERF_DIR"] = str(perf_dir)
+
+    # 1. Bench run with the write-time ledger flow enabled.
+    os.environ["REPRO_BENCH_PRESET"] = "quick"
+    os.environ["REPRO_PERF_LEDGER"] = str(perf_dir)
+    _bench_run(artifact)
+    ledger_file = perf_dir / "ledger.jsonl"
+    if not ledger_file.exists():
+        print("FAIL: REPRO_PERF_LEDGER did not create the ledger at write "
+              "time", file=sys.stderr)
+        return 1
+    print(f"  bench run: {artifact.name} written and ledgered")
+
+    # 2. Validate, idempotent ingest, trajectory rendering.
+    code, out = _cli(env, "history", "validate", str(artifact))
+    if code != 0 or "valid:" not in out:
+        print(f"FAIL: history validate: {out}", file=sys.stderr)
+        return 1
+    code, out = _cli(env, "history", "ingest", str(artifact))
+    if code != 0 or "already ingested" not in out:
+        print(f"FAIL: ingest should be idempotent, got: {out}",
+              file=sys.stderr)
+        return 1
+    code, out = _cli(env, "history", "show", "--no-ingest")
+    if code != 0 or BENCH not in out or "smokehist_solve" not in out:
+        print(f"FAIL: history show: {out}", file=sys.stderr)
+        return 1
+    print("  history: validate OK, ingest idempotent, trajectory rendered")
+
+    # 3. Sentinel passes on the unmodified artifact.
+    code, out = _cli(env, "sentinel", "check", str(artifact))
+    if code != 0 or "PASS" not in out:
+        print(f"FAIL: sentinel should pass unmodified, got: {out}",
+              file=sys.stderr)
+        return 1
+    print("  sentinel: unmodified artifact within tolerance bands")
+
+    # 4. Injected 2x slowdown must trip the gate...
+    payload = json.loads(artifact.read_text())
+    slowed = 0
+    for entry in payload["entries"]:
+        for key, value in list(entry.items()):
+            if key.startswith("t_") and key.endswith("_s"):
+                entry[key] = value * 2.0 + 0.2
+                slowed += 1
+    if not slowed:
+        print("FAIL: bench artifact carries no timing fields",
+              file=sys.stderr)
+        return 1
+    artifact.write_text(json.dumps(payload, indent=2) + "\n")
+    code, out = _cli(env, "sentinel", "check", str(artifact))
+    if code == 0 or "REGRESSION" not in out:
+        print(f"FAIL: sentinel missed the injected 2x slowdown: {out}",
+              file=sys.stderr)
+        return 1
+    print(f"  sentinel: injected 2x slowdown detected "
+          f"({slowed} timing fields)")
+
+    # ... and the slowed snapshot shows up in the trajectory diff.
+    code, out = _cli(env, "history", "ingest", str(artifact))
+    if code != 0:
+        print(f"FAIL: ingest of slowed artifact: {out}", file=sys.stderr)
+        return 1
+    code, out = _cli(env, "history", "diff", BENCH)
+    if code != 0 or "x)" not in out:
+        print(f"FAIL: history diff shows no ratio: {out}", file=sys.stderr)
+        return 1
+    print("  history diff: slowdown visible in the trajectory")
+
+    print("smoke OK: ledger -> sentinel pass -> injected regression caught")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

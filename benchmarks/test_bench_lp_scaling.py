@@ -314,6 +314,10 @@ def test_instrumentation_overhead(perf_report):
     preset shrinks to N = 25 and only applies a generous noise cap —
     short runs on shared CI machines cannot resolve single percents.
 
+    The enabled leg runs with a :class:`~repro.obs.FlightRecorder`
+    attached — the always-on dump-on-error configuration — so the gate
+    covers the ring-buffer mirroring cost, not just bare telemetry.
+
     The enabled/disabled comparison itself needs an external stopwatch
     (disabled runs produce no snapshot, and the probe must be identical
     on both sides); the per-span breakdown of the winning enabled run is
@@ -339,7 +343,7 @@ def test_instrumentation_overhead(perf_report):
         solve()
         t_disabled = min(t_disabled, time.perf_counter() - t0)
 
-        tele = obs.Telemetry()
+        tele = obs.Telemetry(recorder=obs.FlightRecorder())
         with obs.use(tele):
             t0 = time.perf_counter()
             solve()

@@ -29,21 +29,32 @@ instrument itself without creating import cycles.
 
 from __future__ import annotations
 
+import itertools
+import json
+import os
+import tempfile
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
 __all__ = [
+    "FlightRecorder",
     "NullTelemetry",
     "Span",
     "Telemetry",
     "TelemetrySnapshot",
     "clock",
     "disable",
+    "disable_flight_recorder",
     "enable",
+    "enable_flight_recorder",
+    "get_flight_recorder",
     "get_telemetry",
+    "register_flight_dump_exceptions",
     "set_telemetry",
     "use",
 ]
@@ -132,6 +143,8 @@ class Span:
             self.error = f"{exc_type.__name__}: {exc}"
         if self._telemetry is not None:
             self._telemetry._finish_span(self)
+            if exc is not None:
+                _maybe_attach_flight_dump(self._telemetry, exc)
         return False  # never swallow
 
     def __repr__(self) -> str:
@@ -163,6 +176,181 @@ class _NullSpan:
 
 
 _NULL_SPAN = _NullSpan()
+
+
+def _flight_jsonable(value):
+    """Coerce a span attribute to a JSON-serializable scalar/container."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_flight_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _flight_jsonable(v) for k, v in value.items()}
+    try:  # numpy scalars
+        return value.item()
+    except AttributeError:
+        return str(value)
+
+
+class FlightRecorder:
+    """Bounded ring buffer of recently finished spans and counter totals.
+
+    The always-on "black box" of the observability layer: a
+    :class:`Telemetry` with a recorder attached feeds every finished span
+    into a fixed-capacity :class:`collections.deque` (oldest evicted
+    first) and mirrors counter bumps into one flat dict — bounded memory,
+    no span-tree retention, no export cost until something goes wrong.
+    On error, :meth:`dump` writes the tail as a schema-valid JSONL trace
+    that ``python -m repro.obs report`` can render; structured solver
+    exceptions crossing a span get the dump attached automatically as
+    ``error.trace_path`` (see :func:`register_flight_dump_exceptions`).
+
+    Thread-safe; the ring and counters are guarded by one lock.
+    """
+
+    #: Default number of finished spans retained in the ring.
+    DEFAULT_CAPACITY = 256
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        directory: "str | os.PathLike | None" = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self.directory = Path(
+            directory
+            if directory is not None
+            else os.environ.get("REPRO_FLIGHT_DIR", tempfile.gettempdir())
+        )
+        self._lock = threading.Lock()
+        self._ring: deque[dict] = deque(maxlen=self.capacity)
+        self._counters: dict[str, float] = {}
+        self._dump_seq = itertools.count(1)
+
+    # ------------------------------------------------------------------ #
+    def record_span(self, sp: "Span") -> None:
+        """Append one finished span's compact record to the ring."""
+        record = {
+            "name": sp.name,
+            "start_s": sp.start_s,
+            "end_s": sp.end_s,
+            "duration_s": sp.duration_s,
+            "status": sp.status,
+            "error": sp.error,
+            "attributes": {
+                k: _flight_jsonable(v) for k, v in sp.attributes.items()
+            },
+            "counters": dict(sp.counters),
+        }
+        with self._lock:
+            self._ring.append(record)
+
+    def count(self, name: str, n: "int | float" = 1) -> None:
+        """Mirror one counter bump into the recorder's flat totals."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + n
+
+    def tail(self) -> "list[dict]":
+        """The retained span records, oldest first (a copy)."""
+        with self._lock:
+            return [dict(r) for r in self._ring]
+
+    def counters(self) -> dict:
+        """Copy of the mirrored counter totals."""
+        with self._lock:
+            return dict(self._counters)
+
+    def clear(self) -> None:
+        """Drop everything retained so far."""
+        with self._lock:
+            self._ring.clear()
+            self._counters.clear()
+
+    # ------------------------------------------------------------------ #
+    def dump(self, error: "BaseException | None" = None, path=None) -> Path:
+        """Write the tail as a JSONL trace file; returns its path.
+
+        The file follows the versioned trace schema (header record, flat
+        span records in ring order, one final metrics record carrying the
+        mirrored counters), so ``python -m repro.obs report <path>`` and
+        ``validate`` read it like any ``--trace-out`` file.  ``error``
+        annotates the header with the exception that triggered the dump.
+        """
+        from repro.obs.trace import TRACE_SCHEMA_VERSION  # lazy: no cycle
+
+        if path is None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            path = self.directory / (
+                f"repro-flight-{os.getpid()}-{next(self._dump_seq)}.jsonl"
+            )
+        path = Path(path)
+        with self._lock:
+            spans = [dict(r) for r in self._ring]
+            counters = dict(self._counters)
+        records: list[dict] = [{
+            "type": "header",
+            "schema": TRACE_SCHEMA_VERSION,
+            "tool": "repro.obs.flight",
+            "error": None if error is None else (
+                f"{type(error).__name__}: {error}"
+            ),
+        }]
+        for i, rec in enumerate(spans, start=1):
+            records.append({
+                "type": "span",
+                "schema": TRACE_SCHEMA_VERSION,
+                "span_id": i,
+                "parent_id": None,
+                **rec,
+            })
+        records.append({
+            "type": "metrics",
+            "schema": TRACE_SCHEMA_VERSION,
+            "counters": counters,
+            "gauges": {},
+            "histograms": {},
+        })
+        with open(path, "w", encoding="utf-8") as fh:
+            for rec in records:
+                fh.write(json.dumps(rec, sort_keys=True) + "\n")
+        return path
+
+
+#: Exception types that get a flight dump attached as ``.trace_path``
+#: when they cross a span while a recorder is active.  Populated by
+#: :func:`register_flight_dump_exceptions` (``repro.obs`` registers
+#: ``SolverError`` at import, covering the iterative/series subclasses).
+_DUMP_EXCEPTION_TYPES: tuple[type, ...] = ()
+
+
+def register_flight_dump_exceptions(*types: type) -> None:
+    """Add exception types eligible for automatic flight-dump attachment."""
+    global _DUMP_EXCEPTION_TYPES
+    merged = dict.fromkeys(_DUMP_EXCEPTION_TYPES)
+    merged.update(dict.fromkeys(types))
+    _DUMP_EXCEPTION_TYPES = tuple(merged)
+
+
+def _maybe_attach_flight_dump(telemetry, exc: BaseException) -> None:
+    """Attach a flight dump to ``exc`` once, if a recorder is watching.
+
+    Called from :meth:`Span.__exit__` on the innermost span the exception
+    crosses — the dump tail is therefore captured closest to the failure;
+    outer spans see ``trace_path`` already set and do nothing.
+    """
+    recorder = getattr(telemetry, "recorder", None)
+    if recorder is None or not _DUMP_EXCEPTION_TYPES:
+        return
+    if not isinstance(exc, _DUMP_EXCEPTION_TYPES):
+        return
+    if getattr(exc, "trace_path", None) is not None:
+        return
+    try:
+        exc.trace_path = str(recorder.dump(error=exc))
+    except (OSError, AttributeError, TypeError):
+        pass  # unwritable dir / slotted or frozen exception: never mask exc
 
 
 @dataclass(frozen=True)
@@ -216,15 +404,40 @@ class Telemetry:
     Thread-safe: metric registries are guarded by a lock and the span
     context stack is per-thread, so concurrent sweep threads each grow
     their own span trees while sharing one set of aggregate counters.
+
+    Parameters
+    ----------
+    recorder:
+        Optional :class:`FlightRecorder`; every finished span and counter
+        bump is mirrored into its bounded ring, and structured solver
+        exceptions crossing a span get a dump attached as ``trace_path``.
+    retain_spans:
+        ``False`` drops finished span trees instead of keeping them in
+        ``roots`` — the always-on flight-recorder mode, where the ring is
+        the only span retention and memory stays bounded indefinitely.
+    histogram_limit:
+        Cap on retained values per histogram (oldest evicted).  ``None``
+        (the default) keeps everything, as profiling sessions expect;
+        flight-recorder mode sets a bound so gauges/percentiles stay
+        available without unbounded growth.
     """
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        recorder: "FlightRecorder | None" = None,
+        retain_spans: bool = True,
+        histogram_limit: "int | None" = None,
+    ) -> None:
         self._lock = threading.Lock()
         self._local = threading.local()
         self._counters: dict[str, float] = {}
         self._gauges: dict[str, float] = {}
-        self._histogram_values: dict[str, list[float]] = {}
-        #: Finished (and still-open) root spans, in start order.
+        self._histogram_values: dict = {}
+        self.recorder = recorder
+        self.retain_spans = bool(retain_spans)
+        self.histogram_limit = histogram_limit
+        #: Finished (and still-open) root spans, in start order (left
+        #: empty when ``retain_spans`` is off).
         self.roots: list[Span] = []
 
     # ------------------------------------------------------------------ #
@@ -245,7 +458,7 @@ class Telemetry:
         stack = self._stack()
         if stack:
             stack[-1].children.append(sp)
-        else:
+        elif self.retain_spans:
             with self._lock:
                 self.roots.append(sp)
         stack.append(sp)
@@ -263,12 +476,16 @@ class Telemetry:
         elif sp in stack:  # exited out of order (shouldn't happen) — heal
             stack.remove(sp)
         self.observe(f"span.{sp.name}.duration_s", float(sp.duration_s or 0.0))
+        if self.recorder is not None:
+            self.recorder.record_span(sp)
 
     # ------------------------------------------------------------------ #
     def counter(self, name: str, n: "int | float" = 1) -> None:
         """Add ``n`` to the monotonic counter ``name``."""
         with self._lock:
             self._counters[name] = self._counters.get(name, 0) + n
+        if self.recorder is not None:
+            self.recorder.count(name, n)
 
     def gauge(self, name: str, value: float) -> None:
         """Set the last-value gauge ``name``."""
@@ -278,7 +495,14 @@ class Telemetry:
     def observe(self, name: str, value: float) -> None:
         """Record one observation into the histogram ``name``."""
         with self._lock:
-            self._histogram_values.setdefault(name, []).append(float(value))
+            values = self._histogram_values.get(name)
+            if values is None:
+                values = self._histogram_values[name] = (
+                    []
+                    if self.histogram_limit is None
+                    else deque(maxlen=int(self.histogram_limit))
+                )
+            values.append(float(value))
 
     # ------------------------------------------------------------------ #
     def snapshot(self) -> TelemetrySnapshot:
@@ -443,6 +667,61 @@ def enable(telemetry: "Telemetry | None" = None) -> Telemetry:
 def disable() -> None:
     """Restore the disabled default (a shared :class:`NullTelemetry`)."""
     set_telemetry(None)
+
+
+_flight_recorder: "FlightRecorder | None" = None
+
+
+def get_flight_recorder() -> "FlightRecorder | None":
+    """The process-wide flight recorder, or ``None`` when not enabled."""
+    return _flight_recorder
+
+
+def enable_flight_recorder(
+    capacity: int = FlightRecorder.DEFAULT_CAPACITY,
+    directory: "str | os.PathLike | None" = None,
+) -> FlightRecorder:
+    """Turn on the always-on flight recorder; returns it (idempotent).
+
+    If full telemetry is already enabled, the recorder attaches to it
+    (profiling sessions get dump-on-error for free).  Otherwise a
+    span-dropping, histogram-bounded :class:`Telemetry` is installed
+    process-wide whose only retention is the recorder's ring — the
+    "always-on" mode cheap enough to leave running in production (gated
+    with the instrumentation overhead in ``BENCH_lp_scaling.json``).
+    """
+    global _flight_recorder
+    if _flight_recorder is None:
+        _flight_recorder = FlightRecorder(capacity=capacity, directory=directory)
+    tele = get_telemetry()
+    if tele.enabled:
+        tele.recorder = _flight_recorder
+    else:
+        set_telemetry(Telemetry(
+            recorder=_flight_recorder,
+            retain_spans=False,
+            histogram_limit=4 * _flight_recorder.capacity,
+        ))
+    return _flight_recorder
+
+
+def disable_flight_recorder() -> None:
+    """Detach and drop the process-wide flight recorder.
+
+    If the installed telemetry existed only to feed the recorder (the
+    span-dropping mode :func:`enable_flight_recorder` installs), the
+    disabled default is restored too; a full profiling telemetry merely
+    loses its recorder and keeps collecting.
+    """
+    global _flight_recorder
+    tele = get_telemetry()
+    if _flight_recorder is not None and (
+        getattr(tele, "recorder", None) is _flight_recorder
+    ):
+        tele.recorder = None
+        if isinstance(tele, Telemetry) and not tele.retain_spans:
+            disable()
+    _flight_recorder = None
 
 
 class use:

@@ -1,0 +1,185 @@
+"""Live metrics exposition: Prometheus text / JSON rendering + HTTP server.
+
+Renders a :class:`~repro.obs.core.TelemetrySnapshot` in the Prometheus
+text exposition format (version 0.0.4) and serves it from a stdlib-only
+HTTP endpoint (``python -m repro.obs serve --port``).  The endpoint
+snapshots the *process-wide* telemetry on every request, so during a
+parallel sweep — whose workers ship their metrics back through
+``export_state``/``absorb_state`` — scraping ``/metrics`` sees the
+aggregated totals grow point by point.  This is the stepping stone to
+the ROADMAP item 3 service's ``/metrics``.
+
+Name mapping: metric names are dotted internally (``lp.iterations``,
+``span.registry.solve.duration_s``); Prometheus names are the sanitized
+form with a ``repro_`` prefix (``repro_lp_iterations_total``).
+Counters gain the conventional ``_total`` suffix, gauges are emitted
+verbatim, and histogram stats become a Prometheus *summary* (quantile
+series plus ``_sum``/``_count``) using the percentiles the snapshot
+already computed.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.obs.core import TelemetrySnapshot, get_telemetry
+
+__all__ = [
+    "MetricsServer",
+    "prometheus_name",
+    "render_metrics_json",
+    "render_prometheus",
+    "start_metrics_server",
+]
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+_PERCENTILE_KEY_RE = re.compile(r"^p(\d+(?:_\d+)?)$")
+
+
+def prometheus_name(name: str, prefix: str = "repro") -> str:
+    """Sanitized, prefixed Prometheus metric name for a dotted name."""
+    base = _NAME_RE.sub("_", name.strip())
+    return f"{prefix}_{base}" if prefix else base
+
+
+def _quantile_label(stat_key: str) -> "str | None":
+    """``"p95" -> "0.95"``, ``"p99_9" -> "0.999"``; None for non-quantiles."""
+    m = _PERCENTILE_KEY_RE.match(stat_key)
+    if m is None:
+        return None
+    q = float(m.group(1).replace("_", "."))
+    return f"{q / 100.0:g}"
+
+
+def render_prometheus(snapshot: TelemetrySnapshot, prefix: str = "repro") -> str:
+    """The snapshot in Prometheus text exposition format (0.0.4).
+
+    Counters become ``<prefix>_<name>_total`` counter series, gauges map
+    verbatim, and each histogram's precomputed stats are exposed as a
+    summary: one ``{quantile="..."}`` sample per snapshot percentile
+    plus ``_sum`` and ``_count``.
+    """
+    lines: list[str] = []
+    for name, value in sorted(snapshot.counters.items()):
+        metric = prometheus_name(name, prefix) + "_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {float(value):g}")
+    for name, value in sorted(snapshot.gauges.items()):
+        metric = prometheus_name(name, prefix)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {float(value):g}")
+    for name, stats in sorted(snapshot.histograms.items()):
+        metric = prometheus_name(name, prefix)
+        lines.append(f"# TYPE {metric} summary")
+        for key, value in sorted(stats.items()):
+            quantile = _quantile_label(key)
+            if quantile is not None:
+                lines.append(f'{metric}{{quantile="{quantile}"}} {float(value):g}')
+        lines.append(f"{metric}_sum {float(stats['sum']):g}")
+        lines.append(f"{metric}_count {int(stats['count'])}")
+    return "\n".join(lines) + "\n"
+
+
+def render_metrics_json(snapshot: TelemetrySnapshot) -> str:
+    """The snapshot as an indented JSON document (``/metrics.json``)."""
+    return json.dumps(snapshot.as_dict(), indent=2, sort_keys=True) + "\n"
+
+
+class _MetricsHandler(BaseHTTPRequestHandler):
+    """Serves ``/metrics`` (Prometheus text) and ``/metrics.json``."""
+
+    server: "MetricsServer"
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        """Render a fresh snapshot for the requested format."""
+        path = self.path.split("?", 1)[0]
+        snapshot = self.server.snapshot_fn()
+        if path in ("/metrics", "/"):
+            body = render_prometheus(snapshot).encode()
+            ctype = "text/plain; version=0.0.4; charset=utf-8"
+        elif path == "/metrics.json":
+            body = render_metrics_json(snapshot).encode()
+            ctype = "application/json"
+        else:
+            self.send_error(404, "unknown path (try /metrics)")
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", ctype)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        """Silence per-request stderr logging (scrapes are frequent)."""
+
+
+class MetricsServer(ThreadingHTTPServer):
+    """Background metrics endpoint over a snapshot provider.
+
+    Each request calls ``snapshot_fn`` (default: the process-wide
+    telemetry's :meth:`snapshot`), so the endpoint always reflects the
+    current aggregated state without any push plumbing.
+    """
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        snapshot_fn=None,
+    ) -> None:
+        """Bind to ``(host, port)``; ``port=0`` picks a free port."""
+        super().__init__((host, port), _MetricsHandler)
+        self.snapshot_fn = (
+            snapshot_fn
+            if snapshot_fn is not None
+            else (lambda: get_telemetry().snapshot())
+        )
+        self._thread: "threading.Thread | None" = None
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (useful with ``port=0``)."""
+        return self.server_address[1]
+
+    @property
+    def url(self) -> str:
+        """Base URL of the endpoint (append ``/metrics``)."""
+        host = self.server_address[0]
+        return f"http://{host}:{self.port}"
+
+    def start(self) -> "MetricsServer":
+        """Serve in a daemon thread; returns ``self`` for chaining."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self.serve_forever, name="repro-obs-metrics", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Shut down the server thread and close the socket."""
+        self.shutdown()
+        self.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self) -> "MetricsServer":
+        """Start on context entry."""
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        """Stop on context exit."""
+        self.stop()
+
+
+def start_metrics_server(
+    host: str = "127.0.0.1", port: int = 0, snapshot_fn=None
+) -> MetricsServer:
+    """Start a background :class:`MetricsServer`; caller owns ``stop()``."""
+    return MetricsServer(host=host, port=port, snapshot_fn=snapshot_fn).start()

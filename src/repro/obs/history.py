@@ -1,0 +1,458 @@
+"""Persistent perf-history ledger for benchmark artifacts.
+
+The five committed ``BENCH_*.json`` artifacts are point-in-time
+snapshots; this module gives them a *trajectory*.  A :class:`Ledger` is
+an append-only JSONL store (default ``.repro-perf/ledger.jsonl``) with
+one record per artifact entry, keyed by (benchmark, preset, case,
+case_index) plus the git revision, UTC timestamp, and a content hash of
+the source artifact so re-ingesting the same file is a no-op.
+
+The ledger is the substrate for two consumers: ``python -m repro.obs
+history show|diff|trend`` renders the trajectory, and
+:mod:`repro.obs.sentinel` compares fresh bench runs against the latest
+ledger baseline with noise-aware tolerance bands.
+
+Artifact naming contract (see ``benchmarks/bench_reporting.py``):
+``BENCH_<benchmark>.json`` is the tracked large-preset baseline;
+``BENCH_<benchmark>.quick.json`` is the quick-preset artifact, untracked
+by default (``BENCH_kron.quick.json`` is deliberately committed as the
+materializable-shape record).  :func:`artifact_kind` and
+:func:`benchmark_from_path` encode that contract so every tool parses
+names the same way.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import os
+import subprocess
+from datetime import datetime, timezone
+from pathlib import Path
+
+__all__ = [
+    "ARTIFACT_PRESETS",
+    "ARTIFACT_SCHEMA_VERSION",
+    "LEDGER_SCHEMA_VERSION",
+    "Ledger",
+    "artifact_kind",
+    "benchmark_from_path",
+    "current_git_rev",
+    "timing_fields",
+    "validate_artifact",
+]
+
+#: Envelope schema version shared with ``benchmarks/bench_reporting.py``.
+ARTIFACT_SCHEMA_VERSION = 1
+
+#: Ledger record schema version (bump on incompatible record changes).
+LEDGER_SCHEMA_VERSION = 1
+
+#: Presets a valid artifact may declare.
+ARTIFACT_PRESETS = ("quick", "large")
+
+_SCALAR_TYPES = (bool, int, float, str, type(None))
+
+
+def artifact_kind(path: "Path | str") -> str:
+    """``"quick"`` for ``BENCH_*.quick.json``, else ``"canonical"``.
+
+    Canonical artifacts are the tracked large-preset baselines that CI
+    gates against; quick artifacts are fast-preset runs whose absolute
+    numbers are not comparable to the baselines.
+    """
+    return "quick" if Path(path).name.endswith(".quick.json") else "canonical"
+
+
+def benchmark_from_path(path: "Path | str") -> str:
+    """Benchmark name encoded in an artifact filename.
+
+    ``BENCH_lp_scaling.json`` and ``BENCH_lp_scaling.quick.json`` both
+    map to ``lp_scaling``.  Raises :class:`ValueError` for filenames
+    outside the ``BENCH_<name>[.quick].json`` contract.
+    """
+    name = Path(path).name
+    if not (name.startswith("BENCH_") and name.endswith(".json")):
+        raise ValueError(f"not a BENCH_*.json artifact name: {name!r}")
+    stem = name[len("BENCH_") : -len(".json")]
+    if stem.endswith(".quick"):
+        stem = stem[: -len(".quick")]
+    if not stem:
+        raise ValueError(f"artifact name has an empty benchmark: {name!r}")
+    return stem
+
+
+def validate_artifact(payload: dict, *, source: str = "artifact") -> dict:
+    """Check one bench artifact against the shared envelope schema.
+
+    The envelope is ``{"schema": 1, "benchmark": str, "preset":
+    "quick"|"large", "python": str, "entries": [{"case": str, ...scalar
+    fields...}]}`` with every float finite.  Raises :class:`ValueError`
+    naming ``source`` on the first violation; returns ``payload`` so the
+    call composes (``validate_artifact(json.load(f))``).
+    """
+    if not isinstance(payload, dict):
+        raise ValueError(f"{source}: artifact must be a JSON object")
+    if payload.get("schema") != ARTIFACT_SCHEMA_VERSION:
+        raise ValueError(
+            f"{source}: schema must be {ARTIFACT_SCHEMA_VERSION}, "
+            f"got {payload.get('schema')!r}"
+        )
+    benchmark = payload.get("benchmark")
+    if not isinstance(benchmark, str) or not benchmark:
+        raise ValueError(f"{source}: benchmark must be a non-empty string")
+    if payload.get("preset") not in ARTIFACT_PRESETS:
+        raise ValueError(
+            f"{source}: preset must be one of {ARTIFACT_PRESETS}, "
+            f"got {payload.get('preset')!r}"
+        )
+    if not isinstance(payload.get("python"), str):
+        raise ValueError(f"{source}: python must be a version string")
+    entries = payload.get("entries")
+    if not isinstance(entries, list) or not entries:
+        raise ValueError(f"{source}: entries must be a non-empty list")
+    for i, entry in enumerate(entries):
+        where = f"{source}: entries[{i}]"
+        if not isinstance(entry, dict):
+            raise ValueError(f"{where} must be an object")
+        case = entry.get("case")
+        if not isinstance(case, str) or not case:
+            raise ValueError(f"{where} must have a non-empty 'case'")
+        for key, value in entry.items():
+            if not isinstance(value, _SCALAR_TYPES):
+                raise ValueError(
+                    f"{where} field {key!r} has non-scalar type "
+                    f"{type(value).__name__}"
+                )
+            if isinstance(value, float) and not math.isfinite(value):
+                raise ValueError(f"{where} field {key!r} is non-finite")
+    return payload
+
+
+def current_git_rev(cwd: "Path | str | None" = None) -> str:
+    """Short git revision of the working tree (best effort).
+
+    Prefers the ``GITHUB_SHA`` env var (exact even in CI's detached
+    checkouts), then ``git rev-parse --short HEAD``; falls back to
+    ``"unknown"`` outside a repository so ingestion never fails on
+    provenance.
+    """
+    sha = os.environ.get("GITHUB_SHA")
+    if sha:
+        return sha[:12]
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short=12", "HEAD"],
+            cwd=str(cwd) if cwd is not None else None,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=False,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else "unknown"
+
+
+def timing_fields(fields: dict) -> dict:
+    """The timing measurements of an entry: float fields named ``t_*_s``.
+
+    This is the naming convention ``PerfReporter.record_snapshot`` emits
+    (``t_<span>_s``) and the benches use for wall timings
+    (``t_wall_s``); the sentinel applies tolerance bands to exactly
+    these fields and compares everything else strictly or not at all.
+    """
+    return {
+        k: float(v)
+        for k, v in fields.items()
+        if k.startswith("t_") and k.endswith("_s") and isinstance(v, (int, float))
+        and not isinstance(v, bool)
+    }
+
+
+def _utc_now_iso() -> str:
+    """Current UTC wall time in ISO-8601 (wall provenance, not a timing)."""
+    return datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ")
+
+
+class Ledger:
+    """Append-only JSONL perf-history store under a ``.repro-perf/`` dir.
+
+    One record per (artifact, entry): the envelope provenance plus the
+    entry's scalar fields.  Records carry the sha256 of the artifact
+    bytes, so :meth:`ingest` is idempotent per artifact content — the
+    trajectory only grows when the numbers actually change.
+    """
+
+    def __init__(self, root: "Path | str | None" = None) -> None:
+        """Open (lazily) the ledger under ``root``.
+
+        ``root`` defaults to the ``REPRO_PERF_DIR`` env var, then
+        ``.repro-perf`` in the current directory.  Nothing is created
+        until the first append.
+        """
+        if root is None:
+            root = os.environ.get("REPRO_PERF_DIR") or ".repro-perf"
+        self.root = Path(root)
+        self.path = self.root / "ledger.jsonl"
+
+    # -- raw record access -------------------------------------------------
+
+    def records(
+        self,
+        benchmark: "str | None" = None,
+        preset: "str | None" = None,
+        case: "str | None" = None,
+    ) -> list[dict]:
+        """All ledger records, optionally filtered, in append order."""
+        if not self.path.exists():
+            return []
+        out: list[dict] = []
+        with self.path.open() as fh:
+            for lineno, line in enumerate(fh, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    rec = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise ValueError(
+                        f"{self.path}:{lineno}: corrupt ledger line: {exc}"
+                    ) from exc
+                if benchmark is not None and rec.get("benchmark") != benchmark:
+                    continue
+                if preset is not None and rec.get("preset") != preset:
+                    continue
+                if case is not None and rec.get("case") != case:
+                    continue
+                out.append(rec)
+        return out
+
+    def artifact_shas(self) -> set[str]:
+        """Content hashes of every artifact already ingested."""
+        return {r["artifact_sha"] for r in self.records()}
+
+    def _append(self, records: list[dict]) -> None:
+        """Append records as JSONL lines (creates the store on first use)."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a") as fh:
+            for rec in records:
+                fh.write(json.dumps(rec, sort_keys=True) + "\n")
+
+    # -- ingestion ---------------------------------------------------------
+
+    def ingest(
+        self,
+        artifact_path: "Path | str",
+        *,
+        rev: "str | None" = None,
+        timestamp: "str | None" = None,
+    ) -> int:
+        """Ingest one ``BENCH_*.json`` artifact; returns records appended.
+
+        Validates the envelope first (a corrupt artifact never reaches
+        the store), then appends one record per entry.  Re-ingesting
+        byte-identical content returns 0.  ``case_index`` disambiguates
+        repeated case names within one artifact (e.g. the per-population
+        ``lp_persistent`` points).
+        """
+        path = Path(artifact_path)
+        raw = path.read_bytes()
+        sha = hashlib.sha256(raw).hexdigest()[:16]
+        if sha in self.artifact_shas():
+            return 0
+        payload = validate_artifact(json.loads(raw.decode()), source=path.name)
+        benchmark_from_path(path)  # enforce the naming contract too
+        rev = rev if rev is not None else current_git_rev(path.parent)
+        ts = timestamp if timestamp is not None else _utc_now_iso()
+        counts: dict[str, int] = {}
+        records = []
+        for entry in payload["entries"]:
+            case = entry["case"]
+            index = counts.get(case, 0)
+            counts[case] = index + 1
+            records.append(
+                {
+                    "schema": LEDGER_SCHEMA_VERSION,
+                    "ts": ts,
+                    "rev": rev,
+                    "benchmark": payload["benchmark"],
+                    "preset": payload["preset"],
+                    "python": payload["python"],
+                    "artifact": path.name,
+                    "artifact_sha": sha,
+                    "case": case,
+                    "case_index": index,
+                    "fields": {k: v for k, v in entry.items() if k != "case"},
+                }
+            )
+        self._append(records)
+        return len(records)
+
+    def ingest_directory(
+        self, directory: "Path | str" = ".", pattern: str = "BENCH_*.json"
+    ) -> dict[str, int]:
+        """Ingest every matching artifact in ``directory``.
+
+        Returns ``{filename: records_appended}`` (0 marks an already-
+        ingested artifact).  The default pattern picks up quick
+        artifacts too — the ledger keeps the full history; consumers
+        filter by preset.
+        """
+        results: dict[str, int] = {}
+        for path in sorted(Path(directory).glob(pattern)):
+            results[path.name] = self.ingest(path)
+        return results
+
+    # -- queries -----------------------------------------------------------
+
+    def baseline_for(
+        self,
+        benchmark: str,
+        preset: str,
+        case: str,
+        case_index: int = 0,
+        *,
+        exclude_sha: "str | None" = None,
+    ) -> "dict | None":
+        """Latest ledger record for one keyed case, or ``None``.
+
+        ``exclude_sha`` lets the sentinel skip the artifact under test
+        when it was already ingested (compare against the *previous*
+        measurement, not itself).
+        """
+        best: "dict | None" = None
+        for rec in self.records(benchmark=benchmark, preset=preset, case=case):
+            if rec.get("case_index") != case_index:
+                continue
+            if exclude_sha is not None and rec.get("artifact_sha") == exclude_sha:
+                continue
+            if best is None or rec["ts"] >= best["ts"]:
+                best = rec
+        return best
+
+    def snapshots(self, benchmark: str, preset: "str | None" = None) -> list[dict]:
+        """Distinct ingested artifacts of a benchmark, oldest first.
+
+        Each snapshot is ``{"ts", "rev", "preset", "artifact",
+        "artifact_sha", "cases": {(case, case_index): fields}}``.
+        """
+        by_sha: dict[str, dict] = {}
+        for rec in self.records(benchmark=benchmark, preset=preset):
+            snap = by_sha.setdefault(
+                rec["artifact_sha"],
+                {
+                    "ts": rec["ts"],
+                    "rev": rec["rev"],
+                    "preset": rec["preset"],
+                    "artifact": rec["artifact"],
+                    "artifact_sha": rec["artifact_sha"],
+                    "cases": {},
+                },
+            )
+            snap["cases"][(rec["case"], rec["case_index"])] = rec["fields"]
+        return sorted(by_sha.values(), key=lambda s: s["ts"])
+
+    def benchmarks(self) -> list[str]:
+        """Sorted benchmark names present in the ledger."""
+        return sorted({r["benchmark"] for r in self.records()})
+
+
+# -- rendering (shared by the CLI and tests) -------------------------------
+
+
+def render_show(ledger: Ledger) -> str:
+    """ASCII trajectory: per benchmark/preset, each case's latest numbers."""
+    lines: list[str] = []
+    names = ledger.benchmarks()
+    if not names:
+        return f"perf ledger {ledger.path}: empty (run `history ingest` first)"
+    lines.append(f"perf ledger {ledger.path}")
+    for benchmark in names:
+        for preset in ARTIFACT_PRESETS:
+            snaps = ledger.snapshots(benchmark, preset=preset)
+            if not snaps:
+                continue
+            latest = snaps[-1]
+            lines.append(
+                f"\n{benchmark} [{preset}] — {len(snaps)} snapshot(s), "
+                f"latest {latest['ts']} @ {latest['rev']} ({latest['artifact']})"
+            )
+            for (case, index), fields in sorted(latest["cases"].items()):
+                timings = timing_fields(fields)
+                shown = ", ".join(
+                    f"{k}={v:.4g}s" for k, v in sorted(timings.items())
+                ) or ", ".join(
+                    f"{k}={v}" for k, v in sorted(fields.items())[:3]
+                )
+                suffix = f"#{index}" if index else ""
+                lines.append(f"  {case}{suffix}: {shown}")
+    return "\n".join(lines)
+
+
+def render_diff(ledger: Ledger, benchmark: str, preset: "str | None" = None) -> str:
+    """Compare the two most recent snapshots of a benchmark field by field."""
+    snaps = ledger.snapshots(benchmark, preset=preset)
+    if len(snaps) < 2:
+        return (
+            f"{benchmark}: need >= 2 ingested snapshots to diff, "
+            f"have {len(snaps)}"
+        )
+    old, new = snaps[-2], snaps[-1]
+    lines = [
+        f"{benchmark}: {old['ts']} @ {old['rev']}  ->  "
+        f"{new['ts']} @ {new['rev']}"
+    ]
+    for key in sorted(set(old["cases"]) | set(new["cases"])):
+        case, index = key
+        suffix = f"#{index}" if index else ""
+        a, b = old["cases"].get(key), new["cases"].get(key)
+        if a is None or b is None:
+            lines.append(f"  {case}{suffix}: {'added' if a is None else 'removed'}")
+            continue
+        for field in sorted(set(a) | set(b)):
+            va, vb = a.get(field), b.get(field)
+            if va == vb:
+                continue
+            if (
+                isinstance(va, (int, float))
+                and isinstance(vb, (int, float))
+                and not isinstance(va, bool)
+                and not isinstance(vb, bool)
+                and va
+            ):
+                ratio = vb / va
+                lines.append(
+                    f"  {case}{suffix}.{field}: {va:.6g} -> {vb:.6g} "
+                    f"({ratio:.2f}x)"
+                )
+            else:
+                lines.append(f"  {case}{suffix}.{field}: {va!r} -> {vb!r}")
+    if len(lines) == 1:
+        lines.append("  (no field changed)")
+    return "\n".join(lines)
+
+
+def render_trend(
+    ledger: Ledger,
+    benchmark: str,
+    case: str,
+    field: str,
+    preset: "str | None" = None,
+    case_index: int = 0,
+) -> str:
+    """One field's time series across every ingested snapshot."""
+    rows = []
+    for snap in ledger.snapshots(benchmark, preset=preset):
+        fields = snap["cases"].get((case, case_index))
+        if fields is not None and field in fields:
+            rows.append((snap["ts"], snap["rev"], fields[field]))
+    if not rows:
+        return f"{benchmark}/{case}.{field}: no ledger records"
+    lines = [f"{benchmark}/{case}.{field}:"]
+    for ts, rev, value in rows:
+        shown = f"{value:.6g}" if isinstance(value, float) else repr(value)
+        lines.append(f"  {ts} @ {rev}: {shown}")
+    return "\n".join(lines)

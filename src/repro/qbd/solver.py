@@ -23,6 +23,7 @@ from functools import cached_property
 
 import numpy as np
 
+from repro.obs.core import get_telemetry
 from repro.utils.errors import NearInstabilityWarning, SolverError, ValidationError
 
 __all__ = ["solve_r_matrix", "QbdSolution", "solve_qbd", "NEAR_INSTABILITY_EPS"]
@@ -115,30 +116,31 @@ def solve_r_matrix(
         raise ValidationError("A0 + A1 + A2 must have zero row sums")
 
     where = label if label is not None else "QBD"
-    _check_drift(A0, A1, A2, where)
+    with get_telemetry().span("qbd.r_matrix", phases=K, label=where):
+        _check_drift(A0, A1, A2, where)
 
-    R = _r_by_logarithmic_reduction(A0, A1, A2, tol)
-    if R is None:  # pragma: no cover - numerical fallback
-        R = _r_by_functional_iteration(A0, A1, A2, tol, max_iter, where)
-    if np.any(R < -1e-9):
-        raise SolverError(f"{where}: R-matrix solve produced negative entries")
-    R = np.clip(R, 0.0, None)
-    sr = max(abs(v) for v in np.linalg.eigvals(R))
-    if sr >= 1.0 - 1e-10:
-        raise SolverError(
-            f"{where}: spectral radius of R is >= 1: the QBD is not "
-            "positive recurrent (offered load >= capacity)"
-        )
-    if sr > 1.0 - near_instability_eps:
-        warnings.warn(
-            NearInstabilityWarning(
-                f"{where}: spectral radius of R is {sr:.8f} > "
-                f"1 - {near_instability_eps:g}; the queue is stable but so "
-                "close to saturation that queue-length moments and tails "
-                "are numerically extreme"
-            ),
-            stacklevel=2,
-        )
+        R = _r_by_logarithmic_reduction(A0, A1, A2, tol)
+        if R is None:  # pragma: no cover - numerical fallback
+            R = _r_by_functional_iteration(A0, A1, A2, tol, max_iter, where)
+        if np.any(R < -1e-9):
+            raise SolverError(f"{where}: R-matrix solve produced negative entries")
+        R = np.clip(R, 0.0, None)
+        sr = max(abs(v) for v in np.linalg.eigvals(R))
+        if sr >= 1.0 - 1e-10:
+            raise SolverError(
+                f"{where}: spectral radius of R is >= 1: the QBD is not "
+                "positive recurrent (offered load >= capacity)"
+            )
+        if sr > 1.0 - near_instability_eps:
+            warnings.warn(
+                NearInstabilityWarning(
+                    f"{where}: spectral radius of R is {sr:.8f} > "
+                    f"1 - {near_instability_eps:g}; the queue is stable but so "
+                    "close to saturation that queue-length moments and tails "
+                    "are numerically extreme"
+                ),
+                stacklevel=2,
+            )
     return R
 
 

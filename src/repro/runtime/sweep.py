@@ -304,10 +304,10 @@ class SweepRunner:
             t0 = obs.clock()
             if workers <= 1 or len(networks) <= 1:
                 span.set("workers", 1)
-                results = [
-                    self.registry.solve(net, method, **o)
-                    for net, o in zip(networks, per_point_opts)
-                ]
+                results = []
+                for net, o in zip(networks, per_point_opts):
+                    results.append(self.registry.solve(net, method, **o))
+                    tele.gauge("sweep.completed_points", len(results))
             else:
                 span.set("workers", int(workers))
                 payloads = [
@@ -315,14 +315,21 @@ class SweepRunner:
                     for net, o in zip(networks, per_point_opts)
                 ]
                 with ProcessPoolExecutor(max_workers=workers) as pool:
-                    pairs = list(pool.map(_solve_point, payloads))
-                results = [result for result, _ in pairs]
-                # Absorb worker telemetry in input order: counters merge
-                # additively and per-point spans attach under this sweep
-                # span, so serial and parallel runs aggregate identically.
-                for _, state in pairs:
-                    if state is not None:
-                        tele.absorb_state(state, parent=span)
+                    futures = [pool.submit(_solve_point, p) for p in payloads]
+                    results = []
+                    # Consume futures in input order, absorbing each
+                    # worker's telemetry as its point lands: counters merge
+                    # additively and per-point spans attach under this sweep
+                    # span, so serial and parallel runs aggregate
+                    # identically — and a live /metrics scrape
+                    # (repro.obs.export) watches the aggregate grow point
+                    # by point instead of jumping at the end.
+                    for future in futures:
+                        result, state = future.result()
+                        results.append(result)
+                        if state is not None:
+                            tele.absorb_state(state, parent=span)
+                        tele.gauge("sweep.completed_points", len(results))
             span.count("sweep.points", len(networks))
             self.last_wall_time_s = obs.clock() - t0
         return results
